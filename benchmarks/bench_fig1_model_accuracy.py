@@ -1,0 +1,33 @@
+"""Fig 1(b): DNN estimation accuracy per layer (mean / min / max).
+
+Paper: high estimation accuracy across all layers (error bars close to 1).
+"""
+
+from repro.quality import train_quality_models
+from repro.video.dataset import generate_dataset
+from repro.video.synthetic import make_standard_videos
+
+from conftest import run_once
+
+
+def test_fig1_per_layer_accuracy(benchmark):
+    def experiment():
+        videos = make_standard_videos(num_frames=16, seed=7)
+        dataset = generate_dataset(
+            videos, frames_per_video=3, samples_per_frame=32, seed=0
+        )
+        return train_quality_models(
+            dataset=dataset, dnn_epochs=500, dnn_batch_size=64, seed=0
+        )
+
+    trained = run_once(benchmark, experiment)
+
+    print("\n=== Fig 1(b): DNN accuracy (1 - |error|) per layer ===")
+    print(f"{'layer':>6} {'mean':>8} {'min':>8} {'max':>8}")
+    means = []
+    for layer in range(4):
+        acc = trained.per_layer_accuracy(layer)
+        print(f"{layer:>6} {acc['mean']:>8.3f} {acc['min']:>8.3f} {acc['max']:>8.3f}")
+        if acc["mean"] == acc["mean"]:  # not NaN
+            means.append(acc["mean"])
+    assert means and min(means) > 0.85, "per-layer accuracy too low vs Fig 1(b)"

@@ -1,0 +1,43 @@
+"""Fig 5: testbed SSIM/PSNR vs number of users x beamforming scheme.
+
+Setup: users at 3 m, MAS 60 degrees, HR video, 1-3 users.
+Paper: optimized multicast best everywhere; its advantage grows with users
+(SSIM +0.012/+0.016/+0.038 over the alternatives at 2 users,
++0.021/+0.023/+0.045 at 3 users; PSNR gains 2.5-5.6 dB).
+"""
+
+from repro.emulation import run_beamforming_comparison
+
+from conftest import BENCH_FRAMES, BENCH_RUNS, run_once
+from figutil import assert_winner, mean_of, print_box_table
+
+
+def test_fig5_users_x_beamforming(benchmark, ctx):
+    def experiment():
+        return {
+            n: run_beamforming_comparison(
+                ctx, n, ("arc", 3, 60), runs=BENCH_RUNS, frames=BENCH_FRAMES
+            )
+            for n in (1, 2, 3)
+        }
+
+    per_users = run_once(benchmark, experiment)
+
+    for n, results in per_users.items():
+        print_box_table(f"Fig 5: {n} user(s), 3 m, MAS 60", results, "ssim")
+        print_box_table(f"Fig 5: {n} user(s), 3 m, MAS 60", results, "psnr")
+
+    for n in (2, 3):
+        assert_winner(
+            per_users[n], "optimized_multicast",
+            ["predefined_multicast", "optimized_unicast", "predefined_unicast"],
+            slack=0.01,
+        )
+    # The multicast benefit must grow with the number of users.
+    gain_2 = mean_of(per_users[2], "optimized_multicast") - mean_of(
+        per_users[2], "predefined_unicast"
+    )
+    gain_3 = mean_of(per_users[3], "optimized_multicast") - mean_of(
+        per_users[3], "predefined_unicast"
+    )
+    assert gain_3 >= gain_2 - 0.02, "multicast benefit should grow with users"

@@ -1,0 +1,46 @@
+"""Fig 6: testbed quality vs AP-client distance (2 users, MAS 30).
+
+Paper: SSIM at 3 m = 0.976/0.965/0.963/0.939 (optMC/preMC/optUC/preUC),
+at 6 m = 0.966/0.955/0.951/0.924 — graceful degradation with distance,
+optimized multicast best throughout.
+"""
+
+from repro.emulation import run_beamforming_comparison
+
+from conftest import BENCH_FRAMES, BENCH_RUNS, run_once
+from figutil import assert_winner, mean_of, print_box_table
+
+PAPER_SSIM = {
+    3: {"optimized_multicast": 0.976, "predefined_multicast": 0.965,
+        "optimized_unicast": 0.963, "predefined_unicast": 0.939},
+    6: {"optimized_multicast": 0.966, "predefined_multicast": 0.955,
+        "optimized_unicast": 0.951, "predefined_unicast": 0.924},
+}
+
+
+def test_fig6_distance_sweep(benchmark, ctx):
+    def experiment():
+        return {
+            d: run_beamforming_comparison(
+                ctx, 2, ("arc", d, 30), runs=BENCH_RUNS, frames=BENCH_FRAMES
+            )
+            for d in (3, 6)
+        }
+
+    per_distance = run_once(benchmark, experiment)
+
+    for distance, results in per_distance.items():
+        print_box_table(f"Fig 6: 2 users at {distance} m, MAS 30", results)
+        print(f"paper: { {k: v for k, v in PAPER_SSIM[distance].items()} }")
+        print_box_table(f"Fig 6: 2 users at {distance} m (PSNR)", results, "psnr")
+
+    for distance in (3, 6):
+        assert_winner(
+            per_distance[distance], "optimized_multicast",
+            ["predefined_multicast", "optimized_unicast", "predefined_unicast"],
+            slack=0.012,
+        )
+    # Graceful degradation: farther is (weakly) worse.
+    assert mean_of(per_distance[6], "optimized_multicast") <= mean_of(
+        per_distance[3], "optimized_multicast"
+    ) + 0.01

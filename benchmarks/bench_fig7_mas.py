@@ -1,0 +1,44 @@
+"""Fig 7: testbed quality vs maximum angular spacing (2 users at 3 m).
+
+Paper: optimized multicast yields +0.018-0.048 SSIM (3-6 dB PSNR) across all
+MAS values; MAS barely affects unicast but does affect multicast.
+"""
+
+import numpy as np
+
+from repro.emulation import run_beamforming_comparison
+
+from conftest import BENCH_FRAMES, BENCH_RUNS, run_once
+from figutil import assert_winner, mean_of, print_box_table
+
+
+def test_fig7_mas_sweep(benchmark, ctx):
+    def experiment():
+        return {
+            mas: run_beamforming_comparison(
+                ctx, 2, ("arc", 3, mas), runs=BENCH_RUNS, frames=BENCH_FRAMES
+            )
+            for mas in (15, 45, 90)
+        }
+
+    per_mas = run_once(benchmark, experiment)
+
+    for mas, results in per_mas.items():
+        print_box_table(f"Fig 7: 2 users, 3 m, MAS {mas}", results)
+
+    for mas, results in per_mas.items():
+        assert_winner(
+            results, "optimized_multicast",
+            ["predefined_multicast", "predefined_unicast"],
+            slack=0.012,
+        )
+    # MAS affects multicast much more than unicast.
+    multicast_swing = np.ptp(
+        [mean_of(per_mas[m], "predefined_multicast") for m in per_mas]
+    )
+    unicast_swing = np.ptp(
+        [mean_of(per_mas[m], "optimized_unicast") for m in per_mas]
+    )
+    print(f"\nquality swing across MAS: multicast {multicast_swing:.3f}, "
+          f"unicast {unicast_swing:.3f}")
+    assert multicast_swing >= unicast_swing - 0.01

@@ -1,0 +1,41 @@
+"""Fig 8: optimized scheduler vs round robin (testbed; 2 and 3 users).
+
+Paper: identical for 2 users (a single multicast group), optimized wins by
++0.03 SSIM / +3.2 dB PSNR for 3 users.
+"""
+
+from repro.emulation import run_scheduler_comparison
+
+from conftest import BENCH_FRAMES, BENCH_RUNS, run_once
+from figutil import mean_of, print_box_table
+
+
+def test_fig8_scheduler_vs_round_robin(benchmark, ctx):
+    def experiment():
+        return {
+            n: run_scheduler_comparison(
+                ctx, n, ("arc", 3, 60), runs=BENCH_RUNS, frames=BENCH_FRAMES
+            )
+            for n in (2, 3)
+        }
+
+    per_users = run_once(benchmark, experiment)
+
+    for n, results in per_users.items():
+        print_box_table(f"Fig 8: scheduler comparison, {n} users, 3 m", results)
+        print_box_table(f"Fig 8: {n} users (PSNR)", results, "psnr")
+
+    # 3 users: the optimized allocation must clearly beat round robin.
+    gain_3 = mean_of(per_users[3], "optimized") - mean_of(
+        per_users[3], "round_robin"
+    )
+    print(f"\noptimized - round_robin at 3 users: {gain_3:+.3f} SSIM "
+          f"(paper: +0.03)")
+    assert gain_3 > 0.005
+    # 2 users: difference should be much smaller than at 3 users.
+    gain_2 = mean_of(per_users[2], "optimized") - mean_of(
+        per_users[2], "round_robin"
+    )
+    print(f"optimized - round_robin at 2 users: {gain_2:+.3f} SSIM "
+          f"(paper: ~0)")
+    assert gain_3 >= gain_2 - 0.02

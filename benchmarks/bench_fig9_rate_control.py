@@ -1,0 +1,34 @@
+"""Fig 9: leaky-bucket rate control on vs off (3 users, 3 m, MAS 60).
+
+Paper: without rate control the kernel queue overflows, costing ~0.01 SSIM /
+1.3 dB PSNR and adding variance across runs.
+"""
+
+import numpy as np
+
+from repro.emulation import run_ablation
+
+from conftest import BENCH_FRAMES, BENCH_RUNS, run_once
+from figutil import mean_of, print_box_table
+
+
+def test_fig9_rate_control(benchmark, ctx):
+    def experiment():
+        return run_ablation(
+            ctx, "rate_control", 3, ("arc", 3, 60),
+            runs=max(BENCH_RUNS, 4), frames=BENCH_FRAMES,
+        )
+
+    results = run_once(benchmark, experiment)
+
+    print_box_table("Fig 9: rate control (3 users, 3 m, MAS 60)", results)
+    print_box_table("Fig 9 (PSNR)", results, "psnr")
+
+    with_rc = mean_of(results, "with_rate_control")
+    without_rc = mean_of(results, "without_rate_control")
+    print(f"\nwith - without: {with_rc - without_rc:+.3f} SSIM (paper: +0.01)")
+    assert with_rc >= without_rc - 0.005, "rate control should not hurt"
+    spread_with = np.std(results["with_rate_control"]["ssim"])
+    spread_without = np.std(results["without_rate_control"]["ssim"])
+    print(f"std with: {spread_with:.4f}, without: {spread_without:.4f} "
+          f"(paper: larger variance without)")

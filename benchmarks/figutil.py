@@ -1,0 +1,53 @@
+"""Shared printing/assertion helpers for the figure benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.emulation.stats import BoxStats
+
+SCHEME_ORDER = (
+    "optimized_multicast",
+    "predefined_multicast",
+    "optimized_unicast",
+    "predefined_unicast",
+)
+
+
+def print_box_table(
+    title: str, results: Dict[str, Dict[str, List[float]]], metric: str = "ssim"
+) -> Dict[str, BoxStats]:
+    """Print box statistics per case and return them."""
+    print(f"\n=== {title} [{metric}] ===")
+    width = max(len(k) for k in results)
+    print(f"{'case'.ljust(width)}    min     q1    med     q3    max |  mean")
+    stats = {}
+    for key, samples in results.items():
+        box = BoxStats.from_samples(samples[metric])
+        stats[key] = box
+        print(f"{key.ljust(width)} {box.row()}")
+    return stats
+
+
+def mean_of(results: Dict[str, Dict[str, List[float]]], key: str,
+            metric: str = "ssim") -> float:
+    """Mean of one case's samples."""
+    return float(np.mean(results[key][metric]))
+
+
+def assert_winner(
+    results: Dict[str, Dict[str, List[float]]],
+    winner: str,
+    losers,
+    metric: str = "ssim",
+    slack: float = 0.0,
+) -> None:
+    """The paper's winner must win (within optional slack for run noise)."""
+    top = mean_of(results, winner, metric)
+    for loser in losers:
+        assert top >= mean_of(results, loser, metric) - slack, (
+            f"{winner} ({top:.3f}) did not beat {loser} "
+            f"({mean_of(results, loser, metric):.3f})"
+        )

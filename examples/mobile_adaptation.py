@@ -1,0 +1,66 @@
+"""Mobile adaptation: walking viewers vs the DASH state of the art.
+
+Reproduces the shape of the paper's Fig 16/17 on one trace: three receivers,
+two of them walking, all approaches replaying the *identical* recorded CSI
+trace (the paper's trace-driven methodology).  Compares:
+
+* Real-time Update  — the full system, re-optimizing every 100 ms beacon
+* No Update         — t=0 schedule frozen (NIC-level beam tracking only)
+* Robust MPC        — DASH unicast with conservative throughput prediction
+* Fast MPC          — DASH unicast with plain harmonic-mean prediction
+
+Run:  python examples/mobile_adaptation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.emulation import build_context, run_mobile_comparison
+
+DURATION_S = 3.0
+
+
+def sparkline(values, width: int = 60) -> str:
+    """Render an SSIM series as a unicode sparkline."""
+    blocks = "▁▂▃▄▅▆▇█"
+    arr = np.asarray(values)
+    if len(arr) > width:
+        arr = arr[np.linspace(0, len(arr) - 1, width).astype(int)]
+    lo, hi = 0.5, 1.0
+    scaled = np.clip((arr - lo) / (hi - lo), 0, 1)
+    return "".join(blocks[int(v * (len(blocks) - 1))] for v in scaled)
+
+
+def main() -> None:
+    print("Building shared experiment context (cached after first run)...")
+    ctx = build_context()
+
+    for regime, label in (("high", "walking, strong signal"),
+                          ("low", "walking, weak signal"),
+                          ("env", "people crossing the beams")):
+        print(f"\n=== {label} (regime: {regime}) ===")
+        series = run_mobile_comparison(
+            ctx,
+            num_users=3,
+            moving_users=[0, 1],
+            regime=regime,
+            duration_s=DURATION_S,
+            seed=5,
+        )
+        for approach, values in series.items():
+            arr = np.asarray(values)
+            print(
+                f"{approach:17} mean={arr.mean():.3f} "
+                f"worst-frame={arr.min():.3f}  {sparkline(values)}"
+            )
+
+    print(
+        "\nLayered coding + per-beacon re-optimization degrades gracefully"
+        "\n(drop a refinement layer) where the GoP-based DASH baselines lose"
+        "\nwhole groups of pictures when a chunk misses its live deadline."
+    )
+
+
+if __name__ == "__main__":
+    main()

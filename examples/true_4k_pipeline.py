@@ -1,0 +1,76 @@
+"""True-4K codec walkthrough: layering, fountain coding, partial decode.
+
+Everything else in the repo runs at a reduced resolution with 4K-equivalent
+link load (see DESIGN.md); this example exercises the codec and fountain
+coder at the paper's actual 3840x2160 resolution to show that the pipeline
+is resolution-agnostic — and to reproduce the paper's layer arithmetic
+(~120 KB sublayers, ~20 symbols of ~6000 B each, 11 MB total per frame =
+2.6 Gbps at 30 FPS, which is why even MCS 12 cannot carry every layer).
+
+Run:  python examples/true_4k_pipeline.py      (needs ~2 GB RAM, ~1 min)
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.fountain import FrameBlockDecoder, FrameBlockEncoder
+from repro.types import Richness
+from repro.video import JigsawCodec, SyntheticVideo, psnr, ssim
+from repro.video.synthetic import UHD_HEIGHT, UHD_WIDTH
+
+
+def main() -> None:
+    print("Rendering one true-4K frame (3840x2160 YUV420)...")
+    video = SyntheticVideo(
+        name="uhd_demo", richness=Richness.HIGH,
+        height=UHD_HEIGHT, width=UHD_WIDTH, num_frames=2, seed=3,
+    )
+    frame = video.frame(0)
+
+    codec = JigsawCodec(UHD_HEIGHT, UHD_WIDTH)
+    t0 = time.time()
+    layered = codec.encode(frame)
+    print(f"layered encode: {time.time() - t0:.2f} s")
+
+    sizes = codec.structure.layer_sizes()
+    total = sizes.sum()
+    print("\nLayer arithmetic (paper Sec 2.2 / 2.6):")
+    for layer, size in enumerate(sizes):
+        print(f"  layer {layer}: {size / 1e3:8.0f} KB "
+              f"({codec.structure.sublayer_counts[layer]:2d} sublayers)")
+    print(f"  total    : {total / 1e6:.1f} MB per frame "
+          f"= {total * 8 * 30 / 1e9:.2f} Gbps at 30 FPS")
+    print(f"  sublayer : {codec.structure.sublayer_nbytes / 1e3:.0f} KB")
+
+    print("\nFountain-coding one frame (symbol size follows the paper)...")
+    encoder = FrameBlockEncoder(0, layered)
+    print(f"  symbol size: {encoder.symbol_size} B, "
+          f"K = {encoder.symbols_per_unit()} symbols per sublayer")
+
+    print("\nDelivering layers progressively and decoding what arrived:")
+    decoder = FrameBlockDecoder(0, codec.structure, encoder.symbol_size)
+    k = encoder.symbols_per_unit()
+    checkpoints = {0: "base layer only", 1: "layers 0-1", 2: "layers 0-2"}
+    for upto, label in checkpoints.items():
+        for unit in encoder.units:
+            if unit.layer == upto:
+                for symbol in encoder.next_symbols(unit, k):
+                    decoder.ingest(symbol)
+        partial, masks = decoder.assemble()
+        t0 = time.time()
+        reconstructed = codec.decode(partial, masks)
+        quality = ssim(frame, reconstructed)
+        quality_db = psnr(frame, reconstructed)
+        print(f"  {label:16} SSIM {quality:.3f}  PSNR {quality_db:5.1f} dB "
+              f"(decode {time.time() - t0:.2f} s)")
+
+    print("\nAt 2.4 Gbps (MCS 12) a 33 ms frame budget carries ~10 MB —"
+          "\nlayer 3 can only ever be partially sent, which is exactly the"
+          "\nregime the time-allocation optimizer (Sec 2.4) operates in.")
+
+
+if __name__ == "__main__":
+    main()

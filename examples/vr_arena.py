@@ -1,0 +1,65 @@
+"""VR arena: six headsets watching the same live 4K render.
+
+The motivating scenario of the paper's introduction — multiple users gather
+in one room (VR gaming / film watching) and the co-located server multicasts
+the rendered video.  This example sweeps the four beamforming schemes at two
+seating distances and shows why CSI-optimized multicast wins as the room
+fills up.
+
+Run:  python examples/vr_arena.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BeamformingScheme, MulticastStreamer, SystemConfig
+from repro.emulation import EmulationScenario
+from repro.quality import train_default_dnn
+from repro.video import JigsawCodec
+from repro.video.dataset import FrameQualityProbe, generate_dataset
+from repro.video.synthetic import make_standard_videos
+
+NUM_USERS = 6
+FRAMES = 9
+
+
+def main() -> None:
+    height, width = 288, 512
+    videos = make_standard_videos(height=height, width=width, num_frames=12)
+    print("Training quality model...")
+    dataset = generate_dataset(videos, frames_per_video=2, samples_per_frame=16)
+    dnn = train_default_dnn(dataset, epochs=200)
+
+    codec = JigsawCodec(height, width)
+    probes = [FrameQualityProbe.from_frame(codec, videos[0].frame(i)) for i in range(3)]
+    scenario = EmulationScenario(seed=11)
+
+    print(f"\nStreaming to {NUM_USERS} headsets, {FRAMES} frames per setting.\n")
+    header = " ".join(f"{s.value[:14]:>16}" for s in BeamformingScheme)
+    print(f"{'seating':12} {header}")
+    for distance in (4.0, 10.0):
+        positions = scenario.place_arc(
+            num_users=NUM_USERS, distance_m=distance, mas_deg=90, seed=21
+        )
+        trace = scenario.static_trace(positions, duration_s=1.0, seed=22)
+        row = []
+        for scheme in BeamformingScheme:
+            config = SystemConfig(height=height, width=width, scheme=scheme)
+            streamer = MulticastStreamer(
+                config, dnn, probes, scenario.channel_model, seed=23
+            )
+            outcome = streamer.stream_trace(trace, num_frames=FRAMES)
+            row.append(outcome.mean_ssim)
+        cells = " ".join(f"{v:>16.3f}" for v in row)
+        print(f"{distance:>6.1f} m     {cells}")
+
+    print(
+        "\nOptimized multicast forms multi-lobe beams covering several"
+        "\nheadsets at once, so one transmission serves many users; unicast"
+        "\nschemes split airtime and fall behind as the audience grows."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+"""CSI-based multicast beamforming (Sec 2.5, Eq. 3).
+
+The exact problem — maximise the minimum RSS over a group of receivers — is
+NP-hard.  The paper solves the max-*sum* relaxation with an SVD (the beam is
+the leading right singular vector of the stacked channel matrix) as a
+heuristic.  We implement that heuristic (:func:`svd_multicast_beam`) and use
+it to seed a short smoothed max-min refinement
+(:func:`max_min_multicast_beam`): projected gradient ascent on a soft-min of
+the per-user gains over *power-normalised* channels.  The refinement is
+needed in practice because plain max-sum degenerates onto the strongest
+user whenever user channels are near-orthogonal (widely spaced users), which
+the 2-bit phase quantisation then amplifies; with it, the optimized multicast
+beam consistently dominates the predefined-codebook beam, matching the
+paper's measurements (Fig 5-7, 11-13).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import BeamformingError
+from ..phy.antenna import PhasedArray
+
+
+def _stack(channels: Sequence[np.ndarray], num_elements: int) -> np.ndarray:
+    if not len(channels):
+        raise BeamformingError("need at least one channel vector")
+    stacked = np.vstack([np.asarray(h, dtype=complex) for h in channels])
+    if stacked.shape[1] != num_elements:
+        raise BeamformingError(
+            f"channels must have {num_elements} elements, got {stacked.shape[1]}"
+        )
+    norms = np.linalg.norm(stacked, axis=1)
+    if np.any(norms <= 0):
+        raise BeamformingError("cannot beamform on an all-zero channel")
+    return stacked
+
+
+def _weighted_max_sum_beam(stacked: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Beam maximising ``sum_i w_i |h_i^H F|^2`` (unquantised, unit norm).
+
+    With ``A = diag(sqrt(w)) conj(H)`` (rows ``h_i^H``), the objective is
+    ``||A F||^2``; its maximiser over unit-norm F is the leading right
+    singular vector of A, i.e. ``vh[0].conj()`` in numpy's SVD convention.
+    """
+    weighted = np.sqrt(weights)[:, None] * np.conj(stacked)
+    _, _, vh = np.linalg.svd(weighted, full_matrices=False)
+    return vh[0].conj()
+
+
+def svd_multicast_beam(
+    array: PhasedArray, channels: Sequence[np.ndarray]
+) -> np.ndarray:
+    """The paper's plain SVD max-sum heuristic, quantised for the hardware."""
+    stacked = _stack(channels, array.num_elements)
+    normalised = stacked / np.linalg.norm(stacked, axis=1, keepdims=True)
+    beam = _weighted_max_sum_beam(normalised, np.ones(stacked.shape[0]))
+    return array.quantise_weights(beam)
+
+
+def max_min_multicast_beam(
+    array: PhasedArray,
+    channels: Sequence[np.ndarray],
+    steps: int = 150,
+    temperature: float = 8.0,
+    step_size: float = 0.5,
+) -> np.ndarray:
+    """Optimized multicast beam: SVD seed + smoothed max-min ascent.
+
+    Maximises ``softmin_i |h_i^H F|^2`` over unit-norm F on power-normalised
+    channels (normalisation makes near/far users count equally, which is what
+    max-min wants), then projects onto the array's constant-modulus M-bit
+    weights.
+
+    Args:
+        array: AP phased array.
+        channels: One channel vector per group member.
+        steps: Gradient-ascent iterations.
+        temperature: Soft-min sharpness (higher = closer to true min).
+        step_size: Normalised ascent step.
+
+    Returns:
+        Quantised unit-norm beam weights.
+    """
+    stacked = _stack(channels, array.num_elements)
+    if stacked.shape[0] == 1:
+        return array.conjugate_beam(stacked[0])
+    normalised = stacked / np.linalg.norm(stacked, axis=1, keepdims=True)
+
+    candidates: List[np.ndarray] = [
+        _weighted_max_sum_beam(normalised, np.ones(stacked.shape[0]))
+    ]
+    candidates.extend(normalised[i] for i in range(stacked.shape[0]))
+
+    def min_gain(beam: np.ndarray) -> float:
+        return float(np.min(np.abs(np.conj(normalised) @ beam) ** 2))
+
+    beam = max(candidates, key=min_gain)
+    for _ in range(max(0, int(steps))):
+        gains = np.abs(np.conj(normalised) @ beam) ** 2
+        scale = float(np.mean(gains)) + 1e-18
+        weights = np.exp(-temperature * gains / scale)
+        weights = weights / weights.sum()
+        # d(sum_i w_i |h_i^H F|^2)/dF* = sum_i w_i h_i (h_i^H F)
+        gradient = (normalised.T * weights) @ (np.conj(normalised) @ beam)
+        norm = float(np.linalg.norm(gradient))
+        if norm <= 1e-18:
+            break
+        beam = beam + step_size * gradient / norm
+        beam = beam / np.linalg.norm(beam)
+    # The 2-bit constant-modulus projection can reorder candidates, so pick
+    # the best *post-quantisation* beam by the true (unnormalised) max-min
+    # objective — this also guarantees the refined result never falls below
+    # the plain SVD heuristic.
+    def min_gain_raw(quantised: np.ndarray) -> float:
+        return float(np.min(np.abs(np.conj(stacked) @ quantised) ** 2))
+
+    quantised_candidates = [array.quantise_weights(beam)] + [
+        array.quantise_weights(c) for c in candidates
+    ]
+    return max(quantised_candidates, key=min_gain_raw)
+
+
+def max_min_gain(beam: np.ndarray, channels: Sequence[np.ndarray]) -> float:
+    """Minimum beamformed gain ``min_i |F^H h_i|^2`` across the group."""
+    return float(np.min(per_user_gains(beam, channels)))
+
+
+def per_user_gains(beam: np.ndarray, channels: Sequence[np.ndarray]) -> np.ndarray:
+    """Beamformed gain ``|F^H h_i|^2`` for every group member."""
+    beam = np.asarray(beam, dtype=complex)
+    return np.array(
+        [float(np.abs(np.vdot(beam, np.asarray(h, dtype=complex))) ** 2) for h in channels]
+    )

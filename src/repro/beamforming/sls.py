@@ -1,0 +1,57 @@
+"""Sector-level sweep (SLS) beam training (802.11ad, Sec 2.5).
+
+The AP broadcasts beacons precoded with each codebook beam; the STA measures
+per-beam RSS and feeds back the best index.  SLS is also the measurement
+ACO-style CSI estimation consumes (Sec 2.8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .codebook import SectorCodebook
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of one sector sweep for one STA.
+
+    Attributes:
+        per_beam_gain: Linear ``|F_k^H h|^2`` for every codebook beam.
+        best_index: Index of the strongest beam (the STA's feedback).
+    """
+
+    per_beam_gain: np.ndarray
+    best_index: int
+
+    @property
+    def best_gain(self) -> float:
+        """Linear gain of the selected beam."""
+        return float(self.per_beam_gain[self.best_index])
+
+
+def sector_sweep(
+    codebook: SectorCodebook,
+    channel: np.ndarray,
+    rng: np.random.Generator = None,
+    measurement_noise_db: float = 0.0,
+) -> SweepResult:
+    """Sweep all sectors against one channel and pick the best.
+
+    Args:
+        codebook: The predefined beams.
+        channel: STA channel vector.
+        rng: Needed when ``measurement_noise_db`` > 0.
+        measurement_noise_db: Std-dev of per-beam RSS measurement noise; the
+            paper's patched firmware reports noisy SLS RSS, which is why
+            ACO's CSI (and thus beams) are imperfect.
+    """
+    gains = codebook.gains(channel)
+    if measurement_noise_db > 0.0:
+        if rng is None:
+            raise ValueError("rng required when measurement_noise_db > 0")
+        jitter = rng.normal(0.0, measurement_noise_db, size=gains.shape)
+        gains = gains * 10.0 ** (jitter / 10.0)
+    return SweepResult(per_beam_gain=gains, best_index=int(np.argmax(gains)))

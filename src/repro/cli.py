@@ -1,0 +1,170 @@
+"""Command-line interface: run any of the paper's experiments from a shell.
+
+Examples::
+
+    repro-wigig beamforming --users 3 --distance 3 --mas 60 --runs 5
+    repro-wigig scheduler --users 6 --range 8 16 --mas 120
+    repro-wigig ablation --axis source_coding --users 3
+    repro-wigig mobile --users 3 --moving 0 1 --regime low --duration 4
+    repro-wigig quality-model --epochs 500
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .emulation import (
+    BoxStats,
+    build_context,
+    run_ablation,
+    run_beamforming_comparison,
+    run_mobile_comparison,
+    run_scheduler_comparison,
+)
+from .emulation.stats import print_table, summarize
+
+
+def _placement(args) -> tuple:
+    if args.range is not None:
+        return ("range", args.range[0], args.range[1], args.mas)
+    return ("arc", args.distance, args.mas)
+
+
+def _cmd_beamforming(args) -> int:
+    ctx = build_context(seed=args.seed)
+    results = run_beamforming_comparison(
+        ctx, args.users, _placement(args), runs=args.runs, frames=args.frames
+    )
+    print_table(
+        f"Beamforming comparison ({args.users} users)",
+        summarize({k: v["ssim"] for k, v in results.items()}),
+        header="SSIM box statistics per scheme",
+    )
+    print_table(
+        "PSNR (dB)",
+        summarize({k: v["psnr"] for k, v in results.items()}),
+    )
+    return 0
+
+
+def _cmd_scheduler(args) -> int:
+    ctx = build_context(seed=args.seed)
+    results = run_scheduler_comparison(
+        ctx, args.users, _placement(args), runs=args.runs, frames=args.frames
+    )
+    print_table(
+        f"Scheduler comparison ({args.users} users)",
+        summarize({k: v["ssim"] for k, v in results.items()}),
+    )
+    return 0
+
+
+def _cmd_ablation(args) -> int:
+    ctx = build_context(seed=args.seed)
+    results = run_ablation(
+        ctx, args.axis, args.users, _placement(args),
+        runs=args.runs, frames=args.frames,
+    )
+    print_table(
+        f"Ablation: {args.axis} ({args.users} users)",
+        summarize({k: v["ssim"] for k, v in results.items()}),
+    )
+    return 0
+
+
+def _cmd_mobile(args) -> int:
+    ctx = build_context(seed=args.seed)
+    series = run_mobile_comparison(
+        ctx,
+        args.users,
+        args.moving,
+        args.regime,
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+    print(f"\n=== Mobile comparison: regime={args.regime}, {args.users} users ===")
+    for approach, values in series.items():
+        arr = np.asarray(values)
+        print(
+            f"{approach:18} mean={arr.mean():.3f} min={arr.min():.3f} "
+            f"p10={np.percentile(arr, 10):.3f}"
+        )
+    return 0
+
+
+def _cmd_quality_model(args) -> int:
+    from .quality import train_quality_models
+
+    trained = train_quality_models(dnn_epochs=args.epochs, seed=args.seed)
+    print("\n=== Quality model test MSE (Table 1) ===")
+    for name, mse in trained.test_mse.items():
+        print(f"{name:20} {mse:.3e}")
+    print("\nPer-layer DNN accuracy (Fig 1b):")
+    for layer in range(4):
+        acc = trained.per_layer_accuracy(layer)
+        print(
+            f"layer {layer}: mean={acc['mean']:.3f} "
+            f"min={acc['min']:.3f} max={acc['max']:.3f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-wigig",
+        description="Reproduction experiments for the WiGig 4K multicast paper.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--users", type=int, default=3)
+        p.add_argument("--distance", type=float, default=3.0)
+        p.add_argument("--range", type=float, nargs=2, default=None,
+                       metavar=("MIN", "MAX"))
+        p.add_argument("--mas", type=float, default=60.0,
+                       help="maximum angular spacing, degrees")
+        p.add_argument("--runs", type=int, default=3)
+        p.add_argument("--frames", type=int, default=9)
+
+    p = sub.add_parser("beamforming", help="compare the four beamforming schemes")
+    common(p)
+    p.set_defaults(func=_cmd_beamforming)
+
+    p = sub.add_parser("scheduler", help="optimized scheduler vs round robin")
+    common(p)
+    p.set_defaults(func=_cmd_scheduler)
+
+    p = sub.add_parser("ablation", help="source-coding / rate-control on-off")
+    common(p)
+    p.add_argument("--axis", choices=["source_coding", "rate_control"],
+                   default="source_coding")
+    p.set_defaults(func=_cmd_ablation)
+
+    p = sub.add_parser("mobile", help="trace-driven mobile comparison")
+    p.add_argument("--users", type=int, default=1)
+    p.add_argument("--moving", type=int, nargs="*", default=[0])
+    p.add_argument("--regime", choices=["high", "low", "env"], default="high")
+    p.add_argument("--duration", type=float, default=3.0)
+    p.set_defaults(func=_cmd_mobile)
+
+    p = sub.add_parser("quality-model", help="train and evaluate Table 1 models")
+    p.add_argument("--epochs", type=int, default=300)
+    p.set_defaults(func=_cmd_quality_model)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

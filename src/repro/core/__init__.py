@@ -1,0 +1,12 @@
+"""End-to-end live 4K multicast streaming system (paper Sec 3.1, Fig 3).
+
+:class:`MulticastStreamer` runs the full per-frame pipeline on emulated
+links: CSI fetch -> multicast beamforming -> group rates -> time-allocation
+optimization -> fountain encoding -> packet scheduling -> paced transmission
+with feedback/retransmission -> per-user decode -> SSIM/PSNR.
+"""
+
+from .config import SystemConfig
+from .streamer import MulticastStreamer, StreamOutcome
+
+__all__ = ["SystemConfig", "MulticastStreamer", "StreamOutcome"]

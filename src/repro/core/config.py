@@ -1,0 +1,114 @@
+"""System-wide configuration for the multicast streaming pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..types import AdaptationPolicy, BeamformingScheme, SchedulerKind
+
+#: True 4K pixel count; reduced-resolution emulation scales link rates by
+#: the pixel ratio so the data-to-rate regime matches the paper's testbed.
+_UHD_PIXELS = 3840 * 2160
+
+
+@dataclass
+class SystemConfig:
+    """Every knob of the end-to-end system, with the paper's defaults.
+
+    Attributes:
+        height, width: Emulated frame resolution.  The codec and pipeline
+            are resolution-agnostic; the default keeps decodes cheap while
+            ``emulate_4k_load`` preserves 4K scheduling pressure.
+        fps: Live frame rate (paper: 30).
+        scheme: Beamforming scheme (the Sec 4.2.1 comparison axis).
+        scheduler: Optimized (Problem 1) or round-robin.
+        adaptation: Real-time update vs no-update (Sec 4.3.4 axis).
+        rate_control: Leaky-bucket pacing on/off (Fig 9 axis).
+        source_coding: Fountain coding on/off (Fig 10/14 axis).
+        emulate_4k_load: Scale link rates down by the pixel ratio so reduced
+            resolution behaves like 4K.
+        num_elements, phase_bits: AP phased-array geometry.
+        codebook_beams, codebook_wide_beams: Predefined-codebook layout.
+        min_group_rate_mbps: Group pruning threshold (Sec 2.4).
+        exhaustive_max_users: Exhaustive group enumeration limit.
+        optimizer_iterations: Problem-1 gradient steps.
+        traffic_penalty_per_byte: The paper's lambda.
+        max_feedback_rounds: Retransmission rounds per frame.
+        associated_user: The one STA that is MAC-associated (Sec 3.2 pseudo
+            multicast); others run in monitor mode.
+        no_update_beam_tracking: When True (default) the No-Update baseline
+            keeps a predefined codebook sector aligned per beacon — 802.11ad
+            NICs perform this beam tracking autonomously in firmware — while
+            MCS, groups, optimized beam weights and the time allocation stay
+            frozen at t=0.  Set False to freeze beams entirely (ablation).
+        mac_retries: MAC retransmissions for the associated STA.
+        beacon_interval_s: ACO beacon (CSI + re-optimization) period.
+        csi_error_std: Relative ACO CSI estimation error.
+    """
+
+    height: int = 288
+    width: int = 512
+    fps: int = 30
+    scheme: BeamformingScheme = BeamformingScheme.OPTIMIZED_MULTICAST
+    scheduler: SchedulerKind = SchedulerKind.OPTIMIZED
+    adaptation: AdaptationPolicy = AdaptationPolicy.REALTIME_UPDATE
+    rate_control: bool = True
+    source_coding: bool = True
+    emulate_4k_load: bool = True
+    num_elements: int = 32
+    phase_bits: int = 2
+    codebook_beams: int = 16
+    codebook_wide_beams: int = 8
+    min_group_rate_mbps: float = 200.0
+    exhaustive_max_users: int = 4
+    optimizer_iterations: int = 120
+    traffic_penalty_per_byte: float = 1e-9
+    max_feedback_rounds: int = 2
+    associated_user: int = 0
+    mac_retries: int = 2
+    beacon_interval_s: float = 0.1
+    csi_error_std: float = 0.1
+    mcs_backoff_db: float = 2.0
+    retransmit_reserve: float = 0.15
+    no_update_beam_tracking: bool = True
+
+    def __post_init__(self) -> None:
+        if self.height % 16 or self.width % 16:
+            raise ConfigurationError(
+                f"resolution must be multiples of 16, got {self.height}x{self.width}"
+            )
+        if self.fps <= 0:
+            raise ConfigurationError(f"fps must be positive, got {self.fps}")
+        if self.beacon_interval_s <= 0:
+            raise ConfigurationError(
+                f"beacon interval must be positive, got {self.beacon_interval_s}"
+            )
+        if not 0.0 <= self.retransmit_reserve < 1.0:
+            raise ConfigurationError(
+                f"retransmit_reserve must be in [0, 1), got {self.retransmit_reserve}"
+            )
+
+    @property
+    def frame_budget_s(self) -> float:
+        """Per-frame transmission deadline, 1/FR."""
+        return 1.0 / self.fps
+
+    @property
+    def plan_budget_s(self) -> float:
+        """Airtime Problem 1 may schedule; the rest is kept in reserve for
+        feedback-driven retransmissions ("feedbacks and all retransmissions
+        should finish within 33 ms", Sec 2.6)."""
+        return self.frame_budget_s * (1.0 - self.retransmit_reserve)
+
+    @property
+    def rate_scale(self) -> float:
+        """Link-rate divisor for reduced-resolution emulation."""
+        if not self.emulate_4k_load:
+            return 1.0
+        return _UHD_PIXELS / float(self.height * self.width)
+
+    @property
+    def frames_per_beacon(self) -> int:
+        """Video frames between consecutive re-optimizations."""
+        return max(1, int(round(self.beacon_interval_s * self.fps)))

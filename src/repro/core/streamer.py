@@ -1,0 +1,328 @@
+"""The end-to-end multicast streamer (system workflow of Fig 3).
+
+Per beacon interval (100 ms): fetch estimated CSI, compute multicast beams
+and group rates, and re-optimize the time allocation (Problem 1).  Per video
+frame (33 ms): fountain-encode the frame, map the allocation onto coding
+units (Problem 4), transmit with leaky-bucket pacing and feedback-driven
+makeup packets over the true channels, then decode at every receiver and
+score SSIM/PSNR against the reference frame.
+
+The ``No Update`` adaptation policy (Sec 4.3.4 baseline) computes beams,
+rates and allocation once at t=0 and never adapts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace as dc_replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..beamforming import GroupBeamPlanner, SectorCodebook
+from ..errors import ConfigurationError
+from ..fountain.block import FrameBlockEncoder, symbol_size_for
+from ..phy.antenna import PhasedArray
+from ..phy.channel import ChannelModel
+from ..phy.csi import CsiTrace
+from ..quality.curves import FrameFeatureContext
+from ..quality.dnn import DNNQualityModel
+from ..scheduling import (
+    AllocationResult,
+    GroupEnumerator,
+    TimeAllocationOptimizer,
+    assign_coding_groups,
+    round_robin_allocation,
+)
+from ..transport import BandwidthEstimator, FrameTransmitter, LinkModel
+from ..types import (
+    AdaptationPolicy,
+    FrameStats,
+    SchedulerKind,
+    validate_seed,
+)
+from ..video.dataset import FrameQualityProbe
+from ..video.jigsaw import JigsawCodec
+from .config import SystemConfig
+
+
+@dataclass
+class StreamOutcome:
+    """Everything a streaming session produced.
+
+    Attributes:
+        stats: One :class:`FrameStats` per (frame, user).
+        mean_ssim: Mean SSIM over all frames and users.
+        mean_psnr_db: Mean PSNR over all frames and users.
+    """
+
+    stats: List[FrameStats] = field(default_factory=list)
+
+    @property
+    def mean_ssim(self) -> float:
+        if not self.stats:
+            return float("nan")
+        return float(np.mean([s.ssim for s in self.stats]))
+
+    @property
+    def mean_psnr_db(self) -> float:
+        if not self.stats:
+            return float("nan")
+        return float(np.mean([s.psnr_db for s in self.stats]))
+
+    def per_user_ssim(self) -> Dict[int, float]:
+        """Mean SSIM per user."""
+        users = sorted({s.user_id for s in self.stats})
+        return {
+            u: float(np.mean([s.ssim for s in self.stats if s.user_id == u]))
+            for u in users
+        }
+
+    def ssim_series(self, user_id: int) -> List[float]:
+        """Per-frame SSIM of one user, in frame order."""
+        return [s.ssim for s in sorted(self.stats, key=lambda x: x.frame_index)
+                if s.user_id == user_id]
+
+
+class MulticastStreamer:
+    """Runs the full system over a CSI trace.
+
+    Args:
+        config: System configuration.
+        quality_model: Trained DNN Q(.) for the allocation optimizer.
+        probes: Encoded reference frames (cycled to form the live stream);
+            all receivers watch the same video, as in the paper.
+        channel_model: The PHY the trace was recorded against (supplies the
+            link budget for RSS computation).
+        seed: Loss/noise randomness seed.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        quality_model: DNNQualityModel,
+        probes: Sequence[FrameQualityProbe],
+        channel_model: ChannelModel,
+        seed: Optional[int] = 0,
+    ) -> None:
+        if not probes:
+            raise ConfigurationError("need at least one reference frame probe")
+        self.config = config
+        self.quality_model = quality_model
+        self.probes = list(probes)
+        self.channel_model = channel_model
+        self.rng = validate_seed(seed)
+
+        self.codec = JigsawCodec(config.height, config.width)
+        structure = self.codec.structure
+        for probe in self.probes:
+            if probe.codec.structure != structure:
+                raise ConfigurationError(
+                    "probe resolution does not match the configured codec"
+                )
+        self.symbol_size = symbol_size_for(structure)
+
+        array = channel_model.array
+        self.codebook = SectorCodebook(
+            array,
+            num_beams=config.codebook_beams,
+            num_wide_beams=config.codebook_wide_beams,
+        )
+        self.planner = GroupBeamPlanner(
+            array,
+            self.codebook,
+            channel_model.budget,
+            config.scheme,
+            mcs_backoff_db=config.mcs_backoff_db,
+        )
+        self.enumerator = GroupEnumerator(
+            self.planner,
+            min_rate_mbps=config.min_group_rate_mbps,
+            exhaustive_max_users=config.exhaustive_max_users,
+            rate_scale=config.rate_scale,
+        )
+        self.optimizer = TimeAllocationOptimizer(
+            quality_model,
+            traffic_penalty_per_byte=config.traffic_penalty_per_byte,
+            iterations=config.optimizer_iterations,
+        )
+        self.transmitter = FrameTransmitter(
+            link=LinkModel(
+                channel_model,
+                associated_user=config.associated_user,
+                mac_retries=config.mac_retries,
+            ),
+            rate_control=config.rate_control,
+            source_coding=config.source_coding,
+            max_feedback_rounds=config.max_feedback_rounds,
+        )
+
+    # ------------------------------------------------------------------ run
+
+    def stream_trace(
+        self, trace: CsiTrace, num_frames: Optional[int] = None
+    ) -> StreamOutcome:
+        """Stream ``num_frames`` frames over a recorded CSI trace."""
+        config = self.config
+        if num_frames is None:
+            num_frames = int(trace.duration_s * config.fps)
+        total_frames = int(num_frames)
+        if total_frames <= 0:
+            raise ConfigurationError(
+                f"need at least one frame, got {total_frames}"
+            )
+        users = trace.user_ids()
+
+        allocation: Optional[AllocationResult] = None
+        last_plan_time = -np.inf
+        bw_estimators = {u: BandwidthEstimator() for u in users}
+        outcome = StreamOutcome()
+
+        for frame_idx in range(total_frames):
+            now = frame_idx / config.fps
+            # Consecutive frames within one beacon period come from the same
+            # reference (real video content is temporally coherent); the
+            # probe advances at beacon boundaries, in step with replanning.
+            probe_idx = (frame_idx // config.frames_per_beacon) % len(self.probes)
+            probe = self.probes[probe_idx]
+            context = FrameFeatureContext.from_probe(probe)
+            contexts = {u: context for u in users}
+
+            beacon_due = now - last_plan_time >= config.beacon_interval_s - 1e-9
+            if allocation is None:
+                snapshot = trace.at_time(now)
+                allocation = self._plan(snapshot.estimated_state, users, contexts)
+                last_plan_time = now
+            elif beacon_due:
+                snapshot = trace.at_time(now)
+                if config.adaptation is AdaptationPolicy.REALTIME_UPDATE:
+                    allocation = self._plan(snapshot.estimated_state, users, contexts)
+                elif config.no_update_beam_tracking:
+                    # "No Update" freezes the schedule, groups, MCS, time
+                    # allocation and the *optimized* beam weights at t=0 —
+                    # but 802.11ad NICs autonomously keep a codebook sector
+                    # aligned (mandatory beam tracking), so each group falls
+                    # back to the best predefined sector for its members.
+                    allocation = self._retrack_beams(
+                        allocation, snapshot.estimated_state
+                    )
+                last_plan_time = now
+
+            assert allocation is not None
+            encoder = FrameBlockEncoder(frame_idx, probe.layered, self.symbol_size)
+            assignments = assign_coding_groups(
+                allocation.bytes_allocated,
+                allocation.groups,
+                self.codec.structure.sublayer_nbytes,
+            )
+            true_state = trace.at_time(now).true_state
+            rate_limits = self._rate_limits(allocation, bw_estimators)
+            result = self.transmitter.transmit(
+                encoder,
+                assignments,
+                allocation.groups,
+                true_state,
+                config.frame_budget_s,
+                self.rng,
+                rate_limits_bytes_per_s=rate_limits,
+            )
+            for user in users:
+                reception = result.receptions[user]
+                masks = reception.decoder.sublayer_masks()
+                quality, quality_db = probe.measure_masks(masks)
+                outcome.stats.append(
+                    FrameStats(
+                        frame_index=frame_idx,
+                        user_id=user,
+                        ssim=quality,
+                        psnr_db=quality_db,
+                        bytes_received_per_layer=tuple(
+                            reception.decoder.bytes_received_per_layer()
+                        ),
+                        deadline_met=result.airtime_s <= config.frame_budget_s + 1e-9,
+                    )
+                )
+                total = reception.packets_received + reception.packets_lost
+                fraction = (
+                    reception.packets_received / total if total else 1.0
+                )
+                bw_estimators[user].observe_fraction(
+                    float(np.clip(fraction, 0.0, 1.0)), self.rng
+                )
+        return outcome
+
+    # ------------------------------------------------------------------ parts
+
+    def _plan(
+        self,
+        estimated_state,
+        users: List[int],
+        contexts: Dict[int, FrameFeatureContext],
+    ) -> AllocationResult:
+        groups = self.enumerator.enumerate(estimated_state, users)
+        if self.config.scheduler is SchedulerKind.ROUND_ROBIN:
+            return round_robin_allocation(
+                groups, contexts, self.config.plan_budget_s
+            )
+        return self.optimizer.optimize(groups, contexts, self.config.plan_budget_s)
+
+    def _retrack_beams(self, allocation: AllocationResult, estimated_state):
+        """Firmware-level sector re-alignment for the No-Update baseline.
+
+        Replaces each group's (stale) beam with the best *predefined
+        codebook sector* for its members — what the NIC's autonomous beam
+        tracking maintains — without touching MCS, groups or allocation.
+        """
+        import numpy as _np
+
+        new_groups = []
+        for group in allocation.groups:
+            try:
+                channels = [
+                    estimated_state.channels[u] for u in group.user_ids
+                ]
+                gains = self.codebook.gains_multi(list(channels))
+                sector = self.codebook.beam(int(_np.argmax(gains.min(axis=1))))
+                sector_gain = min(
+                    self.channel_model.array.beam_gain(sector, h) for h in channels
+                )
+                frozen_gain = min(
+                    self.channel_model.array.beam_gain(group.plan.beam, h)
+                    for h in channels
+                )
+                # Firmware switches sectors only when the tracked sector
+                # beats the currently configured beam.
+                if sector_gain > frozen_gain:
+                    new_groups.append(
+                        dc_replace(group, plan=dc_replace(group.plan, beam=sector))
+                    )
+                else:
+                    new_groups.append(group)
+            except KeyError:
+                new_groups.append(group)
+        return AllocationResult(
+            groups=new_groups,
+            time_s=allocation.time_s,
+            bytes_allocated=allocation.bytes_allocated,
+            per_user_bytes=allocation.per_user_bytes,
+            predicted_quality=allocation.predicted_quality,
+        )
+
+    def _rate_limits(
+        self,
+        allocation: AllocationResult,
+        bw_estimators: Dict[int, BandwidthEstimator],
+    ) -> Dict[int, float]:
+        """Per-group pacing caps from the previous frame's receiver feedback."""
+        limits: Dict[int, float] = {}
+        for group in allocation.groups:
+            fractions = [
+                bw_estimators[u].estimate_bytes_per_s
+                for u in group.user_ids
+                if u in bw_estimators
+                and bw_estimators[u].estimate_bytes_per_s is not None
+            ]
+            if fractions:
+                # Estimates hold smoothed delivery fractions; the group's
+                # sustainable goodput is fraction x nominal MCS goodput.
+                limits[group.index] = float(min(fractions)) * group.rate_bytes_per_s
+        return limits

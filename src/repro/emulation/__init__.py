@@ -1,0 +1,36 @@
+"""Emulation harness: scenarios, traces, experiment runners, statistics.
+
+Reproduces the paper's evaluation methodology (Sec 4): the same encoder,
+decoder, scheduler, source coding and rate control run in testbed and
+emulation; here the "testbed" is the ray-traced channel at close range with
+few users, and "emulation" covers the larger topologies and the trace-driven
+mobile experiments.
+"""
+
+from .analysis import TraceSummary, classify_regime, summarize_trace, trace_rss_series
+from .scenario import EmulationScenario
+from .stats import BoxStats, summarize
+from .runner import (
+    ExperimentContext,
+    build_context,
+    run_ablation,
+    run_beamforming_comparison,
+    run_mobile_comparison,
+    run_scheduler_comparison,
+)
+
+__all__ = [
+    "EmulationScenario",
+    "TraceSummary",
+    "classify_regime",
+    "summarize_trace",
+    "trace_rss_series",
+    "BoxStats",
+    "summarize",
+    "ExperimentContext",
+    "build_context",
+    "run_beamforming_comparison",
+    "run_scheduler_comparison",
+    "run_ablation",
+    "run_mobile_comparison",
+]

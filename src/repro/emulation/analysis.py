@@ -1,0 +1,107 @@
+"""Trace analysis utilities: RSS series, regime classification, summaries.
+
+The paper splits its mobile evaluation by the RSS of the moving receiver
+(high: >= -61 dBm, the MCS 8 sensitivity; low: below).  These helpers
+compute per-user RSS series from recorded traces (under matched beams, the
+best any scheme could do), classify traces into the paper's regimes, and
+produce compact summaries used by reports and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import EmulationError
+from ..phy.channel import ChannelModel
+from ..phy.csi import CsiTrace
+from ..phy.mcs import HIGH_RSS_THRESHOLD_DBM, rate_for_rss_mbps
+
+
+def trace_rss_series(
+    trace: CsiTrace, channel_model: ChannelModel, use_estimates: bool = False
+) -> Dict[int, np.ndarray]:
+    """Per-user matched-beam RSS (dBm) over a trace.
+
+    Uses the quantised conjugate beam per snapshot — an upper bound on what
+    any beamforming scheme achieves, which is the right yardstick for regime
+    classification.
+
+    Args:
+        trace: Recorded trace.
+        channel_model: Supplies the array and link budget.
+        use_estimates: Measure on the AP's estimated channels instead of the
+            ground truth.
+    """
+    if not len(trace):
+        raise EmulationError("empty trace")
+    users = trace.user_ids()
+    series: Dict[int, List[float]] = {u: [] for u in users}
+    array = channel_model.array
+    for snapshot in trace:
+        state = snapshot.estimated_state if use_estimates else snapshot.true_state
+        for user in users:
+            channel = state.channels[user]
+            beam = array.conjugate_beam(channel)
+            series[user].append(channel_model.rss_dbm(beam, channel))
+    return {u: np.asarray(v) for u, v in series.items()}
+
+
+def classify_regime(
+    trace: CsiTrace,
+    channel_model: ChannelModel,
+    threshold_dbm: float = HIGH_RSS_THRESHOLD_DBM,
+) -> str:
+    """Classify a trace as ``'high'`` or ``'low'`` RSS (Sec 4.3.4 split).
+
+    A trace is high-RSS when the median matched-beam RSS across all users
+    and beacons sits at or above the MCS 8 sensitivity.
+    """
+    series = trace_rss_series(trace, channel_model)
+    pooled = np.concatenate(list(series.values()))
+    return "high" if float(np.median(pooled)) >= threshold_dbm else "low"
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Compact per-trace statistics."""
+
+    duration_s: float
+    num_users: int
+    regime: str
+    median_rss_dbm: float
+    p10_rss_dbm: float
+    outage_fraction: float
+    median_best_rate_mbps: float
+
+    def row(self) -> str:
+        """One-line rendering."""
+        return (
+            f"{self.duration_s:5.1f}s {self.num_users}u {self.regime:>4} "
+            f"RSS med {self.median_rss_dbm:6.1f} p10 {self.p10_rss_dbm:6.1f} dBm "
+            f"outage {self.outage_fraction * 100:4.1f}% "
+            f"rate {self.median_best_rate_mbps:6.0f} Mbps"
+        )
+
+
+def summarize_trace(trace: CsiTrace, channel_model: ChannelModel) -> TraceSummary:
+    """Summary statistics of one trace.
+
+    ``outage_fraction`` is the fraction of (user, beacon) samples whose
+    matched-beam RSS cannot carry any data MCS — the hard failures the
+    layered system degrades through and the DASH baselines freeze on.
+    """
+    series = trace_rss_series(trace, channel_model)
+    pooled = np.concatenate(list(series.values()))
+    rates = np.asarray([rate_for_rss_mbps(float(v)) for v in pooled])
+    return TraceSummary(
+        duration_s=trace.duration_s,
+        num_users=len(series),
+        regime=classify_regime(trace, channel_model),
+        median_rss_dbm=float(np.median(pooled)),
+        p10_rss_dbm=float(np.percentile(pooled, 10)),
+        outage_fraction=float(np.mean(rates == 0.0)),
+        median_best_rate_mbps=float(np.median(rates)),
+    )

@@ -1,0 +1,119 @@
+"""Experiment result persistence and report generation.
+
+Runners return nested dictionaries of raw samples; this module serialises
+them to JSON (so long sweeps can be re-analysed without re-running) and
+renders Markdown summaries with paper-style box statistics — the format
+EXPERIMENTS.md is built from.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..errors import EmulationError
+from .stats import BoxStats
+
+_SCHEMA_VERSION = 1
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment's raw samples plus provenance.
+
+    Attributes:
+        experiment_id: E.g. ``"fig11"``.
+        description: Human-readable configuration summary.
+        parameters: Exact knobs used (runs, frames, placement...).
+        samples: ``case -> metric -> list of samples``.
+    """
+
+    experiment_id: str
+    description: str
+    parameters: Dict[str, object] = field(default_factory=dict)
+    samples: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
+
+    def box_stats(self, metric: str = "ssim") -> Dict[str, BoxStats]:
+        """Box statistics per case for one metric."""
+        stats = {}
+        for case, metrics in self.samples.items():
+            if metric in metrics and metrics[metric]:
+                stats[case] = BoxStats.from_samples(metrics[metric])
+        if not stats:
+            raise EmulationError(
+                f"experiment {self.experiment_id} has no samples for {metric!r}"
+            )
+        return stats
+
+    def to_markdown(self, metric: str = "ssim") -> str:
+        """A Markdown table of the experiment's box statistics."""
+        stats = self.box_stats(metric)
+        lines = [
+            f"### {self.experiment_id}: {self.description}",
+            "",
+            f"| case | min | q1 | median | q3 | max | mean | n |",
+            f"|---|---|---|---|---|---|---|---|",
+        ]
+        for case, box in stats.items():
+            lines.append(
+                f"| {case} | {box.minimum:.3f} | {box.q1:.3f} | "
+                f"{box.median:.3f} | {box.q3:.3f} | {box.maximum:.3f} | "
+                f"**{box.mean:.3f}** | {box.count} |"
+            )
+        return "\n".join(lines) + "\n"
+
+
+def save_records(
+    records: List[ExperimentRecord], path: Union[str, Path]
+) -> None:
+    """Persist experiment records as JSON."""
+    if not records:
+        raise EmulationError("no records to save")
+    payload = {
+        "schema_version": _SCHEMA_VERSION,
+        "records": [asdict(record) for record in records],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_records(path: Union[str, Path]) -> List[ExperimentRecord]:
+    """Load experiment records saved by :func:`save_records`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("schema_version")
+    if version != _SCHEMA_VERSION:
+        raise EmulationError(
+            f"unsupported record schema version {version!r} "
+            f"(expected {_SCHEMA_VERSION})"
+        )
+    return [ExperimentRecord(**record) for record in payload["records"]]
+
+
+def render_report(
+    records: List[ExperimentRecord],
+    title: str = "Experiment report",
+    metric: str = "ssim",
+) -> str:
+    """A full Markdown report over several experiments."""
+    if not records:
+        raise EmulationError("no records to report")
+    sections = [f"# {title}", ""]
+    for record in records:
+        sections.append(record.to_markdown(metric=metric))
+    return "\n".join(sections)
+
+
+def record_from_runner_output(
+    experiment_id: str,
+    description: str,
+    results: Dict[str, Dict[str, List[float]]],
+    parameters: Optional[Dict[str, object]] = None,
+) -> ExperimentRecord:
+    """Wrap a runner's raw output dictionary into a record."""
+    return ExperimentRecord(
+        experiment_id=experiment_id,
+        description=description,
+        parameters=dict(parameters or {}),
+        samples={case: dict(metrics) for case, metrics in results.items()},
+    )

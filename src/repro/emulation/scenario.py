@@ -1,0 +1,243 @@
+"""Scenario construction: rooms, placements, and CSI trace generation.
+
+An :class:`EmulationScenario` bundles the physical world (room, AP, phased
+array, ray-traced channel) with the ACO-style CSI estimator, and records the
+three kinds of traces the evaluation uses:
+
+* static placements (arc at fixed distance, or random within a range),
+* moving receivers (random-walk users constrained to a high- or low-RSS
+  annulus around the AP, Sec 4.3.4), and
+* moving environment (static users, walking blockers crossing the LoS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import EmulationError
+from ..phy.antenna import PhasedArray
+from ..phy.channel import ChannelModel
+from ..phy.csi import CsiEstimator, CsiSnapshot, CsiTrace
+from ..phy.mobility import BEACON_INTERVAL_S, EnvironmentMotionModel, RandomWalkModel
+from ..phy.propagation import HUMAN_BLOCKAGE_DB
+from ..phy.raytracer import (
+    RayTracer,
+    Room,
+    place_users_arc,
+    place_users_random_range,
+)
+from ..types import Position, validate_seed
+
+
+@dataclass
+class EmulationScenario:
+    """A reusable physical world for experiments.
+
+    Args:
+        room: Room geometry (default 20 m x 12 m, the meeting-room scale the
+            paper scanned).
+        ap_position: AP placement (default against one wall, centred).
+        num_elements: AP array size.
+        phase_bits: Phase-shifter resolution.
+        csi_error_std: Relative ACO CSI estimation error.
+        seed: Base seed for channel shadowing and placement draws.
+    """
+
+    room: Room = field(default_factory=Room)
+    ap_position: Position = Position(0.3, 6.0)
+    num_elements: int = 32
+    phase_bits: int = 2
+    csi_error_std: float = 0.1
+    self_blockage_prob: float = 0.03
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.array = PhasedArray(self.num_elements, self.phase_bits)
+        self.tracer = RayTracer(self.room, self.ap_position)
+        self.channel_model = ChannelModel(self.tracer, self.array)
+        self.estimator = CsiEstimator(self.csi_error_std)
+        self._rng = validate_seed(self.seed)
+
+    # ------------------------------------------------------------ placements
+
+    def place_arc(
+        self, num_users: int, distance_m: float, mas_deg: float, seed: int
+    ) -> List[Position]:
+        """Users on an arc (testbed layout, Fig 4a)."""
+        rng = validate_seed(seed)
+        return place_users_arc(
+            self.ap_position, self.room, num_users, distance_m,
+            float(np.deg2rad(mas_deg)), rng,
+        )
+
+    def place_random_range(
+        self,
+        num_users: int,
+        min_distance_m: float,
+        max_distance_m: float,
+        mas_deg: float,
+        seed: int,
+    ) -> List[Position]:
+        """Users at random distances in a range (emulation layout, Fig 4b)."""
+        rng = validate_seed(seed)
+        return place_users_random_range(
+            self.ap_position, self.room, num_users,
+            min_distance_m, max_distance_m, float(np.deg2rad(mas_deg)), rng,
+        )
+
+    # ---------------------------------------------------------------- traces
+
+    def static_trace(
+        self,
+        positions: Sequence[Position],
+        duration_s: float = 1.0,
+        seed: int = 0,
+    ) -> CsiTrace:
+        """CSI trace for stationary users (fading still varies per beacon)."""
+        rng = validate_seed(seed)
+        receivers = {i: p for i, p in enumerate(positions)}
+        trace = CsiTrace(beacon_interval_s=BEACON_INTERVAL_S)
+        for tick in range(max(1, int(round(duration_s / BEACON_INTERVAL_S)))):
+            now = tick * BEACON_INTERVAL_S
+            state = self.channel_model.snapshot(receivers, rng, time_s=now)
+            trace.append(
+                CsiSnapshot(now, state, self.estimator.estimate_state(state, rng))
+            )
+        return trace
+
+    def mobile_receiver_trace(
+        self,
+        num_users: int,
+        moving_users: Sequence[int],
+        duration_s: float,
+        rss_regime: str = "high",
+        seed: int = 0,
+    ) -> CsiTrace:
+        """Moving-receiver trace (Sec 4.3.4, first trace type).
+
+        Moving users random-walk inside an annulus around the AP chosen so
+        their RSS stays mostly above (``"high"``) or below (``"low"``) the
+        MCS 8 sensitivity split; static users sit at mid-range.
+        """
+        if rss_regime not in ("high", "low"):
+            raise EmulationError(f"rss_regime must be 'high' or 'low', got {rss_regime!r}")
+        radius_range = (2.0, 6.0) if rss_regime == "high" else (9.0, 16.0)
+        # People carrying receivers wander within a small area (the paper's
+        # walkers stay inside one meeting room minute-scale); bounding the
+        # excursion keeps the t=0 beam partially relevant for No Update.
+        max_excursion_m = 1.5
+        rng = validate_seed(seed)
+        positions: Dict[int, Position] = {}
+        walkers: Dict[int, RandomWalkModel] = {}
+        for user in range(num_users):
+            angle = rng.uniform(-np.pi / 3, np.pi / 3)
+            radius = rng.uniform(*radius_range)
+            start = self.room.clamp(
+                self.ap_position.x + radius * np.cos(angle),
+                self.ap_position.y + radius * np.sin(angle),
+            )
+            positions[user] = start
+            if user in moving_users:
+                walkers[user] = RandomWalkModel(
+                    room=self.room,
+                    start=start,
+                    speed_mps=0.8,
+                    seed=int(rng.integers(0, 2**31)),
+                )
+        trace = CsiTrace(beacon_interval_s=BEACON_INTERVAL_S)
+        previous_state = None
+        # A walking holder intermittently blocks their own receiver's LoS
+        # (body shadowing) — the deep-fade events that make mobile mmWave
+        # traces hard.  Reflection paths survive, so close-range (high-RSS)
+        # users degrade to a mid MCS while far users lose the link.
+        blocked_ticks = {user: 0 for user in walkers}
+        trace_starts = {user: positions[user] for user in walkers}
+        for tick in range(max(1, int(round(duration_s / BEACON_INTERVAL_S)))):
+            now = tick * BEACON_INTERVAL_S
+            extra_loss: Dict[int, float] = {}
+            for user, walker in walkers.items():
+                walker.step(BEACON_INTERVAL_S)
+                moved = self._clamp_annulus(walker.position, radius_range)
+                start = trace_starts[user]
+                offset = moved.as_array() - start.as_array()
+                excursion = float(np.linalg.norm(offset))
+                if excursion > max_excursion_m:
+                    scaled = start.as_array() + offset * (max_excursion_m / excursion)
+                    moved = self.room.clamp(float(scaled[0]), float(scaled[1]))
+                positions[user] = moved
+                if blocked_ticks[user] > 0:
+                    blocked_ticks[user] -= 1
+                elif rng.random() < self.self_blockage_prob:
+                    blocked_ticks[user] = int(rng.integers(3, 9))
+                if blocked_ticks[user] > 0:
+                    extra_loss[user] = HUMAN_BLOCKAGE_DB
+            state = self.channel_model.snapshot(
+                dict(positions), rng, time_s=now, los_extra_loss_db=extra_loss
+            )
+            # Beam training lags the channel by one beacon: what the AP
+            # believes at time t is an estimate of the channel at t - 100 ms.
+            # Under motion this staleness is the dominant impairment.
+            basis = previous_state if previous_state is not None else state
+            trace.append(
+                CsiSnapshot(now, state, self.estimator.estimate_state(basis, rng))
+            )
+            previous_state = state
+        return trace
+
+    def moving_environment_trace(
+        self,
+        num_users: int,
+        distance_m: float,
+        mas_deg: float,
+        duration_s: float,
+        num_blockers: int = 2,
+        seed: int = 0,
+    ) -> CsiTrace:
+        """Moving-environment trace (static users, walking blockers)."""
+        rng = validate_seed(seed)
+        positions = {
+            i: p
+            for i, p in enumerate(
+                self.place_arc(num_users, distance_m, mas_deg, seed=seed)
+            )
+        }
+        environment = EnvironmentMotionModel(
+            room=self.room,
+            ap_position=self.ap_position,
+            num_blockers=num_blockers,
+            seed=int(rng.integers(0, 2**31)),
+        )
+        trace = CsiTrace(beacon_interval_s=BEACON_INTERVAL_S)
+        previous_state = None
+        for tick in range(max(1, int(round(duration_s / BEACON_INTERVAL_S)))):
+            now = tick * BEACON_INTERVAL_S
+            environment.step(BEACON_INTERVAL_S)
+            extra = environment.los_extra_loss_db(positions)
+            state = self.channel_model.snapshot(
+                dict(positions), rng, time_s=now, los_extra_loss_db=extra
+            )
+            basis = previous_state if previous_state is not None else state
+            trace.append(
+                CsiSnapshot(now, state, self.estimator.estimate_state(basis, rng))
+            )
+            previous_state = state
+        return trace
+
+    # ----------------------------------------------------------------- utils
+
+    def _clamp_annulus(
+        self, position: Position, radius_range: tuple
+    ) -> Position:
+        """Pull a walker back inside its RSS-regime annulus around the AP."""
+        delta = position.as_array() - self.ap_position.as_array()
+        radius = float(np.linalg.norm(delta))
+        if radius < 1e-6:
+            return self.room.clamp(self.ap_position.x + radius_range[0], self.ap_position.y)
+        clamped = float(np.clip(radius, *radius_range))
+        if clamped == radius:
+            return position
+        scaled = self.ap_position.as_array() + delta * (clamped / radius)
+        return self.room.clamp(float(scaled[0]), float(scaled[1]))

@@ -1,0 +1,63 @@
+"""Aggregation statistics for experiment results (the paper's box plots)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from ..errors import EmulationError
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary plus mean — what each box in Figs 5-15 shows."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+    count: int
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "BoxStats":
+        """Summarise a sample set."""
+        values = np.asarray(list(samples), dtype=float)
+        if values.size == 0:
+            raise EmulationError("no samples to summarise")
+        return cls(
+            minimum=float(values.min()),
+            q1=float(np.percentile(values, 25)),
+            median=float(np.percentile(values, 50)),
+            q3=float(np.percentile(values, 75)),
+            maximum=float(values.max()),
+            mean=float(values.mean()),
+            count=int(values.size),
+        )
+
+    def row(self) -> str:
+        """A fixed-width table row (min / q1 / median / q3 / max / mean)."""
+        return (
+            f"{self.minimum:6.3f} {self.q1:6.3f} {self.median:6.3f} "
+            f"{self.q3:6.3f} {self.maximum:6.3f} | mean {self.mean:6.3f} "
+            f"(n={self.count})"
+        )
+
+
+def summarize(samples_by_key: Dict[str, Iterable[float]]) -> Dict[str, BoxStats]:
+    """Summarise several labelled sample sets at once."""
+    return {key: BoxStats.from_samples(list(vals)) for key, vals in samples_by_key.items()}
+
+
+def print_table(title: str, stats: Dict[str, BoxStats], header: str = "") -> None:
+    """Print a labelled box-stats table (benchmark output format)."""
+    print(f"\n=== {title} ===")
+    if header:
+        print(header)
+    width = max((len(k) for k in stats), default=10)
+    print(f"{'case'.ljust(width)}    min     q1    med     q3    max |  mean")
+    for key, box in stats.items():
+        print(f"{key.ljust(width)} {box.row()}")

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at the API boundary.  Subclasses are
+grouped by subsystem and carry enough context in their message to be
+actionable without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is invalid or inconsistent with another value."""
+
+
+class VideoFormatError(ReproError):
+    """A video frame or sequence has an unsupported shape, dtype or format."""
+
+
+class CodecError(ReproError):
+    """Layered encoding or decoding failed (bad layer data, size mismatch)."""
+
+
+class QualityModelError(ReproError):
+    """A video-quality model was misused (untrained, bad feature shape)."""
+
+
+class ChannelError(ReproError):
+    """The PHY/channel simulator was given invalid geometry or parameters."""
+
+
+class BeamformingError(ReproError):
+    """Beamforming weight computation failed or received bad CSI."""
+
+
+class FountainCodeError(ReproError):
+    """Fountain encoding/decoding failed (not enough symbols, bad symbol)."""
+
+
+class SchedulingError(ReproError):
+    """Group enumeration or time-allocation optimization failed."""
+
+
+class TransportError(ReproError):
+    """Packet transport, rate control, or feedback handling failed."""
+
+
+class EmulationError(ReproError):
+    """An emulation scenario or trace is malformed."""

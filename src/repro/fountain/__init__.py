@@ -1,0 +1,34 @@
+"""Rateless (Raptor-style) source coding (paper Sec 2.6, Fig 2).
+
+The paper ports the Rust RaptorQ codec to C++ and applies it per sublayer so
+that any fresh coded symbol adds information, retransmission needs no
+per-packet feedback, and users in overlapping multicast groups receive no
+redundant bytes.  We implement a systematic random-linear fountain code over
+GF(256) with the same operational properties: receiving ``K + h`` symbols
+fails to decode with probability about ``256^-(h+1)`` — the exact overhead
+figure the paper quotes for RaptorQ.
+"""
+
+from .gf256 import gf_inverse, gf_matmul, gf_multiply, gf_solve
+from .raptor import (
+    FountainDecoder,
+    FountainEncoder,
+    FountainSymbol,
+    decode_failure_probability,
+)
+from .block import DEFAULT_SYMBOL_SIZE, CodingUnitId, FrameBlockEncoder, FrameBlockDecoder
+
+__all__ = [
+    "gf_multiply",
+    "gf_inverse",
+    "gf_matmul",
+    "gf_solve",
+    "FountainSymbol",
+    "FountainEncoder",
+    "FountainDecoder",
+    "decode_failure_probability",
+    "DEFAULT_SYMBOL_SIZE",
+    "CodingUnitId",
+    "FrameBlockEncoder",
+    "FrameBlockDecoder",
+]

@@ -1,0 +1,234 @@
+"""Sublayer <-> fountain-block mapping (Sec 2.6).
+
+The paper uses a Jigsaw sublayer as the coding unit: "each sublayer contains
+20 symbols" with 6000-byte symbols (their 4K sublayers are ~120 KB).  At
+other resolutions we keep the 20-symbols-per-unit structure by shrinking the
+symbol, capped at the paper's 6000 B choice (which sits at the encode/decode
+time minimum of Fig 2 and fits an 802.11ad A-MSDU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from ..errors import FountainCodeError
+from ..types import NUM_LAYERS
+from ..video.jigsaw import SUBLAYER_COUNTS, LayeredFrame, LayerStructure
+from .raptor import FountainDecoder, FountainEncoder, FountainSymbol
+
+#: Paper's symbol size (Fig 2 minimum).
+DEFAULT_SYMBOL_SIZE = 6000
+
+#: Paper's symbols per coding unit.
+TARGET_SYMBOLS_PER_UNIT = 20
+
+
+@dataclass(frozen=True, order=True)
+class CodingUnitId:
+    """Identifies one coding unit (= one sublayer of one frame).
+
+    The flat ``block_id`` carried inside fountain symbols encodes
+    (frame, layer, sublayer) so receivers can route symbols without extra
+    headers.
+    """
+
+    frame_index: int
+    layer: int
+    sublayer: int
+
+    _SUBLAYER_BASE: Tuple[int, ...] = (0, 3, 7, 23)  # cumulative sublayer counts
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.layer < NUM_LAYERS:
+            raise FountainCodeError(f"layer {self.layer} out of range")
+        if not 0 <= self.sublayer < SUBLAYER_COUNTS[self.layer]:
+            raise FountainCodeError(
+                f"sublayer {self.sublayer} out of range for layer {self.layer}"
+            )
+
+    @property
+    def block_id(self) -> int:
+        """Flat id: 87 units per frame."""
+        per_frame = sum(SUBLAYER_COUNTS)
+        return (
+            self.frame_index * per_frame
+            + self._SUBLAYER_BASE[self.layer]
+            + self.sublayer
+        )
+
+    @classmethod
+    def from_block_id(cls, block_id: int) -> "CodingUnitId":
+        """Inverse of :attr:`block_id`."""
+        per_frame = sum(SUBLAYER_COUNTS)
+        frame_index, offset = divmod(block_id, per_frame)
+        for layer in range(NUM_LAYERS - 1, -1, -1):
+            if offset >= cls._SUBLAYER_BASE[layer]:
+                return cls(frame_index, layer, offset - cls._SUBLAYER_BASE[layer])
+        raise FountainCodeError(f"unreachable block id {block_id}")
+
+
+def symbol_size_for(structure: LayerStructure) -> int:
+    """Symbol size preserving ~20 symbols per sublayer, capped at 6000 B."""
+    per_unit = structure.sublayer_nbytes
+    return max(1, min(DEFAULT_SYMBOL_SIZE, -(-per_unit // TARGET_SYMBOLS_PER_UNIT)))
+
+
+def all_unit_ids(frame_index: int) -> List[CodingUnitId]:
+    """Every coding unit of one frame, layer-major then sublayer order."""
+    units = []
+    for layer in range(NUM_LAYERS):
+        for sub in range(SUBLAYER_COUNTS[layer]):
+            units.append(CodingUnitId(frame_index, layer, sub))
+    return units
+
+
+class FrameBlockEncoder:
+    """Fountain encoders for every sublayer of one encoded frame.
+
+    The sender-side object: it turns a :class:`LayeredFrame` into per-unit
+    symbol streams and tracks how many symbols it has emitted per unit (so
+    retransmissions continue the stream instead of repeating symbols).
+    """
+
+    def __init__(
+        self,
+        frame_index: int,
+        layered: LayeredFrame,
+        symbol_size: int = 0,
+    ) -> None:
+        self.frame_index = int(frame_index)
+        self.structure = layered.structure
+        self.symbol_size = int(symbol_size) or symbol_size_for(layered.structure)
+        self._encoders: Dict[CodingUnitId, FountainEncoder] = {}
+        self._next_symbol_id: Dict[CodingUnitId, int] = {}
+        for unit in all_unit_ids(self.frame_index):
+            payload = layered.sublayer_payload(unit.layer, unit.sublayer)
+            self._encoders[unit] = FountainEncoder(
+                unit.block_id, payload, self.symbol_size
+            )
+            self._next_symbol_id[unit] = 0
+
+    @property
+    def units(self) -> List[CodingUnitId]:
+        """All coding units, in layer/sublayer order."""
+        return sorted(self._encoders)
+
+    def symbols_per_unit(self) -> int:
+        """Source symbols (K) in each coding unit."""
+        any_encoder = next(iter(self._encoders.values()))
+        return any_encoder.num_source_symbols
+
+    def unit_nbytes(self) -> int:
+        """Source bytes per coding unit."""
+        return self.structure.sublayer_nbytes
+
+    def next_symbols(self, unit: CodingUnitId, count: int) -> List[FountainSymbol]:
+        """Emit the next ``count`` fresh symbols for a unit.
+
+        Every call continues the unit's symbol stream, which is what makes
+        retransmissions and overlapping multicast groups redundancy-free.
+        """
+        if unit not in self._encoders:
+            raise FountainCodeError(f"unknown unit {unit}")
+        start = self._next_symbol_id[unit]
+        self._next_symbol_id[unit] = start + count
+        return self._encoders[unit].symbols(start, count)
+
+    def emitted_count(self, unit: CodingUnitId) -> int:
+        """Symbols emitted so far for a unit."""
+        return self._next_symbol_id[unit]
+
+    def symbol_at(self, unit: CodingUnitId, symbol_id: int) -> FountainSymbol:
+        """A specific symbol of a unit (plain/non-rateless packetisation).
+
+        The without-source-coding baseline addresses raw segments by index
+        instead of drawing fresh coded symbols, so overlapping multicast
+        groups re-send identical segments.
+        """
+        if unit not in self._encoders:
+            raise FountainCodeError(f"unknown unit {unit}")
+        return self._encoders[unit].symbol(symbol_id)
+
+
+class FrameBlockDecoder:
+    """Fountain decoders for every sublayer of one frame (receiver side).
+
+    Tracks reception at sublayer granularity — the lightweight feedback unit
+    of Sec 2.6 — and assembles decoded payloads back into a
+    :class:`LayeredFrame` for the video decoder.
+    """
+
+    def __init__(
+        self,
+        frame_index: int,
+        structure: LayerStructure,
+        symbol_size: int = 0,
+    ) -> None:
+        self.frame_index = int(frame_index)
+        self.structure = structure
+        self.symbol_size = int(symbol_size) or symbol_size_for(structure)
+        self._decoders: Dict[CodingUnitId, FountainDecoder] = {}
+        for unit in all_unit_ids(self.frame_index):
+            self._decoders[unit] = FountainDecoder(
+                unit.block_id, structure.sublayer_nbytes, self.symbol_size
+            )
+
+    def ingest(self, symbol: FountainSymbol) -> bool:
+        """Route one received symbol to its unit decoder.
+
+        Returns True when that unit just became (or already was) decodable.
+        Symbols belonging to other frames are rejected.
+        """
+        unit = CodingUnitId.from_block_id(symbol.block_id)
+        if unit.frame_index != self.frame_index:
+            raise FountainCodeError(
+                f"symbol for frame {unit.frame_index} fed to frame "
+                f"{self.frame_index} decoder"
+            )
+        return self._decoders[unit].add_symbol(symbol)
+
+    def unit_decoder(self, unit: CodingUnitId) -> FountainDecoder:
+        """The per-unit decoder (feedback needs its reception detail)."""
+        if unit not in self._decoders:
+            raise FountainCodeError(f"unknown unit {unit}")
+        return self._decoders[unit]
+
+    def received_counts(self) -> Dict[CodingUnitId, int]:
+        """Per-unit distinct symbols received (the sublayer-level feedback)."""
+        return {unit: dec.received_count for unit, dec in self._decoders.items()}
+
+    def decoded_units(self) -> List[CodingUnitId]:
+        """Units that are fully decodable right now."""
+        return [u for u, d in self._decoders.items() if d.is_decoded]
+
+    def sublayer_masks(self) -> List[np.ndarray]:
+        """Boolean per-layer masks of decoded sublayers (video-decoder input)."""
+        masks = [np.zeros(count, dtype=bool) for count in SUBLAYER_COUNTS]
+        for unit, decoder in self._decoders.items():
+            if decoder.is_decoded:
+                masks[unit.layer][unit.sublayer] = True
+        return masks
+
+    def assemble(self) -> Tuple[LayeredFrame, List[np.ndarray]]:
+        """Build a partial :class:`LayeredFrame` from decoded units.
+
+        Returns the frame plus the per-layer masks to pass to
+        :meth:`repro.video.jigsaw.JigsawCodec.decode`.
+        """
+        layered = LayeredFrame.empty(self.structure)
+        masks = self.sublayer_masks()
+        for unit, decoder in self._decoders.items():
+            if decoder.is_decoded:
+                layered.set_sublayer_payload(unit.layer, unit.sublayer, decoder.decode())
+        return layered, masks
+
+    def bytes_received_per_layer(self) -> np.ndarray:
+        """Useful payload bytes received per layer (for FrameStats)."""
+        totals = np.zeros(NUM_LAYERS)
+        for unit, decoder in self._decoders.items():
+            received = min(decoder.received_count, decoder.num_source_symbols)
+            totals[unit.layer] += received * self.symbol_size
+        return totals

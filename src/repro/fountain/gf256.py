@@ -1,0 +1,125 @@
+"""GF(256) arithmetic on numpy arrays.
+
+The Galois field GF(2^8) with the AES/RaptorQ-standard primitive polynomial
+``x^8 + x^4 + x^3 + x^2 + 1`` (0x11D generator tables).  Multiplication uses
+log/antilog tables so whole symbol rows multiply in one vectorised lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import FountainCodeError
+
+#: The field's primitive polynomial (0x11D) reduced modulo x^8.
+_PRIMITIVE_POLY = 0x1D
+
+
+def _build_tables() -> Tuple[np.ndarray, np.ndarray]:
+    exp = np.zeros(512, dtype=np.int32)
+    log = np.zeros(256, dtype=np.int32)
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x <<= 1
+        if x & 0x100:
+            x = (x ^ _PRIMITIVE_POLY) & 0xFF
+    exp[255:510] = exp[:255]  # duplicated so (log a + log b) needs no modulo
+    return exp, log
+
+
+_EXP, _LOG = _build_tables()
+
+
+def gf_multiply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise GF(256) product of two uint8 arrays (broadcasting)."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    result = _EXP[_LOG[a.astype(np.int32)] + _LOG[b.astype(np.int32)]]
+    zero = (a == 0) | (b == 0)
+    return np.where(zero, 0, result).astype(np.uint8)
+
+
+def gf_inverse(a: int) -> int:
+    """Multiplicative inverse in GF(256)."""
+    if a == 0:
+        raise FountainCodeError("zero has no inverse in GF(256)")
+    return int(_EXP[255 - _LOG[a]])
+
+
+def gf_scale_row(row: np.ndarray, factor: int) -> np.ndarray:
+    """Multiply a uint8 row by a scalar field element."""
+    if factor == 0:
+        return np.zeros_like(row)
+    if factor == 1:
+        return row.copy()
+    shift = _LOG[factor]
+    result = _EXP[_LOG[row.astype(np.int32)] + shift]
+    return np.where(row == 0, 0, result).astype(np.uint8)
+
+
+def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """GF(256) matrix product of uint8 matrices ``(m, k) @ (k, n)``.
+
+    Used for encoding: coefficient rows times the source-symbol matrix.
+    """
+    a = np.atleast_2d(np.asarray(a, dtype=np.uint8))
+    b = np.atleast_2d(np.asarray(b, dtype=np.uint8))
+    if a.shape[1] != b.shape[0]:
+        raise FountainCodeError(f"shape mismatch: {a.shape} @ {b.shape}")
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
+    for j in range(a.shape[1]):
+        column = a[:, j]
+        nonzero = np.nonzero(column)[0]
+        if nonzero.size == 0:
+            continue
+        products = gf_multiply(column[nonzero, None], b[j][None, :])
+        out[nonzero] ^= products
+    return out
+
+
+def gf_solve(
+    matrix: np.ndarray, rhs: np.ndarray
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Solve ``matrix @ x = rhs`` over GF(256) by Gaussian elimination.
+
+    Args:
+        matrix: ``(m, k)`` coefficient matrix with ``m >= k``.
+        rhs: ``(m, s)`` right-hand sides (one symbol payload per row).
+
+    Returns:
+        ``(x, rhs_reduced)`` where ``x`` is the ``(k, s)`` solution, or None
+        when the matrix is rank-deficient (decode failure).
+    """
+    a = np.array(matrix, dtype=np.uint8)
+    b = np.array(rhs, dtype=np.uint8)
+    m, k = a.shape
+    if b.shape[0] != m:
+        raise FountainCodeError(f"rhs has {b.shape[0]} rows, expected {m}")
+    row = 0
+    for col in range(k):
+        pivot_candidates = np.nonzero(a[row:, col])[0]
+        if pivot_candidates.size == 0:
+            return None
+        pivot = row + int(pivot_candidates[0])
+        if pivot != row:
+            a[[row, pivot]] = a[[pivot, row]]
+            b[[row, pivot]] = b[[pivot, row]]
+        inv = gf_inverse(int(a[row, col]))
+        a[row] = gf_scale_row(a[row], inv)
+        b[row] = gf_scale_row(b[row], inv)
+        targets = np.nonzero(a[:, col])[0]
+        targets = targets[targets != row]
+        if targets.size:
+            factors = a[targets, col]
+            a[targets] ^= gf_multiply(factors[:, None], a[row][None, :])
+            b[targets] ^= gf_multiply(factors[:, None], b[row][None, :])
+        row += 1
+        if row == k:
+            break
+    if row < k:
+        return None
+    return b[:k], b

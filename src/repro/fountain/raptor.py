@@ -1,0 +1,198 @@
+"""Systematic random-linear fountain code (the RaptorQ stand-in).
+
+Encoding: a source block of ``K`` symbols (fixed symbol size, zero-padded)
+produces an unbounded stream of coded symbols.  Symbol ids below ``K`` are
+systematic (the source symbols themselves); higher ids are random GF(256)
+linear combinations whose coefficients are derived deterministically from
+``(block_id, symbol_id)``, so encoder and decoder agree without transmitting
+coefficient vectors.
+
+Decoding: any set of symbols whose coefficient matrix has rank ``K``
+reconstructs the block.  For random GF(256) combinations the probability
+that ``K + h`` received symbols fail is about ``256^-(h+1)`` — matching the
+RaptorQ guarantee quoted in Sec 2.6 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import FountainCodeError
+from .gf256 import gf_matmul, gf_solve
+
+
+def decode_failure_probability(extra_symbols: int) -> float:
+    """Probability that ``K + extra`` random symbols fail to decode."""
+    if extra_symbols < 0:
+        return 1.0
+    return float(256.0 ** -(extra_symbols + 1))
+
+
+def _coefficients(block_id: int, symbol_id: int, k: int) -> np.ndarray:
+    """Deterministic coefficient row for a repair symbol.
+
+    Seeded from (block_id, symbol_id) so both endpoints derive identical
+    rows.  Rows are guaranteed non-zero.
+    """
+    rng = np.random.default_rng(
+        np.random.SeedSequence(entropy=0x5EED, spawn_key=(block_id, symbol_id))
+    )
+    row = rng.integers(0, 256, size=k, dtype=np.uint8)
+    while not row.any():
+        row = rng.integers(0, 256, size=k, dtype=np.uint8)
+    return row
+
+
+@dataclass(frozen=True)
+class FountainSymbol:
+    """One coded symbol in flight.
+
+    Attributes:
+        block_id: Identifies the source block (coding unit).
+        symbol_id: Stream index; < K means systematic.
+        payload: ``symbol_size`` bytes.
+    """
+
+    block_id: int
+    symbol_id: int
+    payload: bytes
+
+
+class FountainEncoder:
+    """Produces the coded-symbol stream for one source block.
+
+    Args:
+        block_id: Block identifier carried in every symbol.
+        data: Source bytes (padded internally to a whole number of symbols).
+        symbol_size: Bytes per symbol.
+    """
+
+    def __init__(self, block_id: int, data: bytes, symbol_size: int):
+        if symbol_size <= 0:
+            raise FountainCodeError(f"symbol_size must be positive, got {symbol_size}")
+        if not data:
+            raise FountainCodeError("cannot encode an empty block")
+        self.block_id = int(block_id)
+        self.symbol_size = int(symbol_size)
+        self.data_len = len(data)
+        self.num_source_symbols = -(-len(data) // symbol_size)
+        padded = data + b"\x00" * (self.num_source_symbols * symbol_size - len(data))
+        self._source = np.frombuffer(padded, dtype=np.uint8).reshape(
+            self.num_source_symbols, symbol_size
+        )
+
+    def symbol(self, symbol_id: int) -> FountainSymbol:
+        """The coded symbol with stream index ``symbol_id``."""
+        if symbol_id < 0:
+            raise FountainCodeError(f"symbol_id must be >= 0, got {symbol_id}")
+        if symbol_id < self.num_source_symbols:
+            payload = self._source[symbol_id].tobytes()
+        else:
+            coeffs = _coefficients(self.block_id, symbol_id, self.num_source_symbols)
+            payload = gf_matmul(coeffs[None, :], self._source)[0].tobytes()
+        return FountainSymbol(self.block_id, symbol_id, payload)
+
+    def symbols(self, first_id: int, count: int) -> List[FountainSymbol]:
+        """``count`` consecutive symbols starting at ``first_id``."""
+        return [self.symbol(first_id + i) for i in range(count)]
+
+
+class FountainDecoder:
+    """Accumulates symbols for one block and decodes once rank-complete.
+
+    Args:
+        block_id: Must match the encoder's.
+        data_len: Original (unpadded) block length in bytes.
+        symbol_size: Bytes per symbol.
+    """
+
+    def __init__(self, block_id: int, data_len: int, symbol_size: int):
+        if symbol_size <= 0:
+            raise FountainCodeError(f"symbol_size must be positive, got {symbol_size}")
+        if data_len <= 0:
+            raise FountainCodeError(f"data_len must be positive, got {data_len}")
+        self.block_id = int(block_id)
+        self.symbol_size = int(symbol_size)
+        self.data_len = int(data_len)
+        self.num_source_symbols = -(-data_len // symbol_size)
+        self._symbols: Dict[int, bytes] = {}
+        self._decoded: Optional[bytes] = None
+
+    @property
+    def received_count(self) -> int:
+        """Distinct symbols received so far."""
+        return len(self._symbols)
+
+    @property
+    def is_decoded(self) -> bool:
+        """Whether the block has been reconstructed."""
+        return self._decoded is not None
+
+    def received_ids(self) -> set:
+        """Distinct symbol ids received (plain-mode retransmission needs the
+        exact missing segment indices)."""
+        return set(self._symbols)
+
+    @property
+    def symbols_missing(self) -> int:
+        """Symbols still needed before a decode attempt can succeed."""
+        return max(0, self.num_source_symbols - self.received_count)
+
+    def add_symbol(self, symbol: FountainSymbol) -> bool:
+        """Ingest one symbol; returns True once the block is decodable.
+
+        Duplicate symbol ids are ignored (they carry no new information).
+        """
+        if symbol.block_id != self.block_id:
+            raise FountainCodeError(
+                f"symbol for block {symbol.block_id} fed to decoder for "
+                f"block {self.block_id}"
+            )
+        if len(symbol.payload) != self.symbol_size:
+            raise FountainCodeError(
+                f"payload is {len(symbol.payload)} bytes, expected {self.symbol_size}"
+            )
+        if self._decoded is not None:
+            return True
+        self._symbols.setdefault(symbol.symbol_id, symbol.payload)
+        if len(self._symbols) >= self.num_source_symbols:
+            self._try_decode()
+        return self._decoded is not None
+
+    def decode(self) -> bytes:
+        """The reconstructed block; raises if not yet decodable."""
+        if self._decoded is None:
+            self._try_decode()
+        if self._decoded is None:
+            raise FountainCodeError(
+                f"block {self.block_id} not decodable: "
+                f"{self.received_count}/{self.num_source_symbols} symbols"
+            )
+        return self._decoded
+
+    def _try_decode(self) -> None:
+        k = self.num_source_symbols
+        if len(self._symbols) < k:
+            return
+        ids = sorted(self._symbols)
+        systematic = [i for i in ids if i < k]
+        if len(systematic) == k:
+            data = b"".join(self._symbols[i] for i in range(k))
+            self._decoded = data[: self.data_len]
+            return
+        matrix = np.zeros((len(ids), k), dtype=np.uint8)
+        rhs = np.zeros((len(ids), self.symbol_size), dtype=np.uint8)
+        for row, symbol_id in enumerate(ids):
+            if symbol_id < k:
+                matrix[row, symbol_id] = 1
+            else:
+                matrix[row] = _coefficients(self.block_id, symbol_id, k)
+            rhs[row] = np.frombuffer(self._symbols[symbol_id], dtype=np.uint8)
+        solved = gf_solve(matrix, rhs)
+        if solved is None:
+            return
+        source, _ = solved
+        self._decoded = source.tobytes()[: self.data_len]

@@ -1,0 +1,153 @@
+"""Channel synthesis: from traced paths to complex array-channel vectors.
+
+The frequency-flat channel between the AP's ``Nt``-element array and a
+single-antenna STA is
+
+    h = sum_l  a_l * exp(j phi_l) * e(theta_l)
+
+over traced paths ``l`` with linear amplitude ``a_l`` (free-space +
+reflection + blockage loss), carrier phase ``phi_l`` from the travelled
+distance, and array steering vector ``e``.  Received signal strength under a
+transmit beam ``F`` (with ``||F|| = 1``) is ``RSS = Ptx * |F^H h|^2``,
+reported in dBm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ChannelError
+from ..types import Position
+from .antenna import PhasedArray
+from .propagation import HUMAN_BLOCKAGE_DB, path_amplitude, path_phase_rad
+from .raytracer import Path, RayTracer
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """Scalar link-budget terms outside the channel vector itself.
+
+    Attributes:
+        tx_power_dbm: Conducted transmit power fed to the array.  Beamforming
+            gain is produced by ``|F^H h|^2`` (up to ``Nt`` with a matched
+            beam), not included here.
+        rx_gain_db: Receive antenna gain of the quasi-omni STA antenna.
+        implementation_loss_db: Fixed RF implementation margin.
+    """
+
+    tx_power_dbm: float = 18.0
+    rx_gain_db: float = 3.0
+    implementation_loss_db: float = 2.0
+
+    def rss_dbm(self, beam_channel_gain: float) -> float:
+        """RSS for a linear beamformed channel power gain ``|F^H h|^2``."""
+        if beam_channel_gain <= 0.0:
+            return -np.inf
+        return (
+            self.tx_power_dbm
+            + self.rx_gain_db
+            - self.implementation_loss_db
+            + 10.0 * np.log10(beam_channel_gain)
+        )
+
+
+@dataclass
+class ChannelState:
+    """Per-user channel vectors at one instant.
+
+    Attributes:
+        channels: ``user_id -> h`` complex vector of length ``Nt``.
+        positions: ``user_id -> Position`` (metadata; emulation only).
+        time_s: Simulation time of the snapshot.
+    """
+
+    channels: Dict[int, np.ndarray]
+    positions: Dict[int, Position] = field(default_factory=dict)
+    time_s: float = 0.0
+
+    @property
+    def user_ids(self) -> List[int]:
+        """Sorted user identifiers present in this snapshot."""
+        return sorted(self.channels)
+
+    def stacked(self, user_ids: Sequence[int]) -> np.ndarray:
+        """Stack the selected users' channels into an ``(n, Nt)`` matrix."""
+        missing = [u for u in user_ids if u not in self.channels]
+        if missing:
+            raise ChannelError(f"no channel for users {missing}")
+        return np.vstack([self.channels[u] for u in user_ids])
+
+
+class ChannelModel:
+    """Synthesises channel vectors for receivers in a ray-traced room.
+
+    Args:
+        tracer: Ray tracer bound to a room and AP placement.
+        array: The AP phased array.
+        budget: Link-budget scalars.
+        fading_std_db: Log-normal shadowing applied per path (models
+            everything the geometric tracer misses: scattering, polarisation
+            mismatch, antenna pattern ripple).
+    """
+
+    def __init__(
+        self,
+        tracer: RayTracer,
+        array: PhasedArray,
+        budget: Optional[LinkBudget] = None,
+        fading_std_db: float = 1.5,
+    ) -> None:
+        self.tracer = tracer
+        self.array = array
+        self.budget = budget or LinkBudget()
+        self.fading_std_db = float(fading_std_db)
+
+    def channel_vector(
+        self,
+        receiver: Position,
+        rng: np.random.Generator,
+        los_extra_loss_db: float = 0.0,
+    ) -> np.ndarray:
+        """Channel vector for a receiver position.
+
+        Args:
+            receiver: STA position.
+            rng: Source of per-path shadowing randomness.
+            los_extra_loss_db: Additional loss applied to the direct path
+                (e.g. :data:`HUMAN_BLOCKAGE_DB` when a blocker crosses it).
+        """
+        paths = self.tracer.trace(receiver)
+        h = np.zeros(self.array.num_elements, dtype=complex)
+        for path in paths:
+            loss = path.loss_db
+            if path.is_los:
+                loss += los_extra_loss_db
+            loss += float(rng.normal(0.0, self.fading_std_db))
+            amplitude = path_amplitude(loss)
+            phase = path_phase_rad(path.length_m)
+            h += amplitude * np.exp(1j * phase) * self.array.steering_vector(path.aod_rad)
+        return h
+
+    def snapshot(
+        self,
+        receivers: Dict[int, Position],
+        rng: np.random.Generator,
+        time_s: float = 0.0,
+        los_extra_loss_db: Optional[Dict[int, float]] = None,
+    ) -> ChannelState:
+        """Channel vectors for a set of receivers at one instant."""
+        extra = los_extra_loss_db or {}
+        channels = {
+            user: self.channel_vector(pos, rng, extra.get(user, 0.0))
+            for user, pos in receivers.items()
+        }
+        return ChannelState(
+            channels=channels, positions=dict(receivers), time_s=time_s
+        )
+
+    def rss_dbm(self, beam: np.ndarray, channel: np.ndarray) -> float:
+        """RSS in dBm for a transmit beam and channel vector."""
+        return self.budget.rss_dbm(self.array.beam_gain(beam, channel))

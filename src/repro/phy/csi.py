@@ -1,0 +1,173 @@
+"""CSI estimation and trace recording (Sec 2.8).
+
+The paper estimates CSI from SLS RSS feedback using the ACO / X-array
+framework, then — because the patched firmware cannot dump SLS RSS under
+data traffic in mobile cases — records CSI traces and replays them in
+emulation.  We mirror that structure:
+
+* :class:`CsiEstimator` degrades ground-truth channel vectors with estimation
+  noise (ACO recovers CSI only up to measurement error and quantisation).
+* :class:`CsiTrace` is a recorded sequence of per-user channel snapshots at
+  the 100 ms beacon interval, replayable by the emulator so that competing
+  algorithms see identical channel conditions — the paper's stated reason
+  for trace-driven evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path as FsPath
+from typing import Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+from ..errors import ChannelError
+from ..types import Position, validate_seed
+from .channel import ChannelState
+
+
+@dataclass(frozen=True)
+class CsiEstimator:
+    """Adds ACO-style estimation error to ground-truth channels.
+
+    Attributes:
+        relative_error_std: Std-dev of complex Gaussian error relative to the
+            RMS magnitude of the channel entries.  ACO reports beamforming
+            within ~1 dB of ground truth; 0.1 relative error reproduces that.
+    """
+
+    relative_error_std: float = 0.1
+
+    def estimate(self, channel: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return a noisy estimate of one channel vector."""
+        channel = np.asarray(channel, dtype=complex)
+        scale = float(np.sqrt(np.mean(np.abs(channel) ** 2)))
+        noise = rng.normal(0.0, self.relative_error_std * scale / np.sqrt(2), channel.shape)
+        noise = noise + 1j * rng.normal(
+            0.0, self.relative_error_std * scale / np.sqrt(2), channel.shape
+        )
+        return channel + noise
+
+    def estimate_state(
+        self, state: ChannelState, rng: np.random.Generator
+    ) -> ChannelState:
+        """Noisy estimate of a whole snapshot."""
+        return ChannelState(
+            channels={u: self.estimate(h, rng) for u, h in state.channels.items()},
+            positions=dict(state.positions),
+            time_s=state.time_s,
+        )
+
+
+@dataclass(frozen=True)
+class CsiSnapshot:
+    """One beacon interval's channel measurement.
+
+    Attributes:
+        time_s: Measurement time.
+        true_state: Ground-truth channels (what the emulated air transmits
+            through).
+        estimated_state: What the AP's ACO estimator believes (what
+            beamforming and scheduling are computed from).
+    """
+
+    time_s: float
+    true_state: ChannelState
+    estimated_state: ChannelState
+
+
+@dataclass
+class CsiTrace:
+    """A replayable sequence of CSI snapshots at the beacon interval."""
+
+    snapshots: List[CsiSnapshot] = field(default_factory=list)
+    beacon_interval_s: float = 0.1
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def __iter__(self) -> Iterator[CsiSnapshot]:
+        return iter(self.snapshots)
+
+    def append(self, snapshot: CsiSnapshot) -> None:
+        """Record one snapshot."""
+        self.snapshots.append(snapshot)
+
+    def at_time(self, time_s: float) -> CsiSnapshot:
+        """Most recent snapshot at or before ``time_s`` (zero-order hold)."""
+        if not self.snapshots:
+            raise ChannelError("trace is empty")
+        index = int(np.clip(time_s / self.beacon_interval_s, 0, len(self.snapshots) - 1))
+        # Guard against non-uniform traces: walk to the right snapshot.
+        while index > 0 and self.snapshots[index].time_s > time_s:
+            index -= 1
+        while (
+            index + 1 < len(self.snapshots)
+            and self.snapshots[index + 1].time_s <= time_s
+        ):
+            index += 1
+        return self.snapshots[index]
+
+    @property
+    def duration_s(self) -> float:
+        """Time covered by the trace."""
+        if not self.snapshots:
+            return 0.0
+        return self.snapshots[-1].time_s + self.beacon_interval_s
+
+    def user_ids(self) -> List[int]:
+        """Users present in the first snapshot."""
+        if not self.snapshots:
+            return []
+        return self.snapshots[0].true_state.user_ids
+
+    # ------------------------------------------------------------ persistence
+
+    def save(self, path: Union[str, FsPath]) -> None:
+        """Persist the trace to an ``.npz`` file."""
+        if not self.snapshots:
+            raise ChannelError("refusing to save an empty trace")
+        users = self.user_ids()
+        times = np.array([s.time_s for s in self.snapshots])
+        data: Dict[str, np.ndarray] = {
+            "times": times,
+            "users": np.array(users),
+            "beacon_interval_s": np.array(self.beacon_interval_s),
+        }
+        for user in users:
+            data[f"true_{user}"] = np.vstack(
+                [s.true_state.channels[user] for s in self.snapshots]
+            )
+            data[f"est_{user}"] = np.vstack(
+                [s.estimated_state.channels[user] for s in self.snapshots]
+            )
+            data[f"pos_{user}"] = np.array(
+                [
+                    s.true_state.positions.get(user, Position(0, 0)).as_array()
+                    for s in self.snapshots
+                ]
+            )
+        np.savez(FsPath(path), **data)
+
+    @classmethod
+    def load(cls, path: Union[str, FsPath]) -> "CsiTrace":
+        """Load a trace previously written by :meth:`save`."""
+        with np.load(FsPath(path)) as data:
+            times = data["times"]
+            users = [int(u) for u in data["users"]]
+            interval = float(data["beacon_interval_s"])
+            snapshots = []
+            for i, t in enumerate(times):
+                true_channels = {u: data[f"true_{u}"][i] for u in users}
+                est_channels = {u: data[f"est_{u}"][i] for u in users}
+                positions = {
+                    u: Position(*(float(v) for v in data[f"pos_{u}"][i])) for u in users
+                }
+                snapshots.append(
+                    CsiSnapshot(
+                        time_s=float(t),
+                        true_state=ChannelState(true_channels, positions, float(t)),
+                        estimated_state=ChannelState(est_channels, positions, float(t)),
+                    )
+                )
+        return cls(snapshots=snapshots, beacon_interval_s=interval)

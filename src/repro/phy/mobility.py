@@ -1,0 +1,131 @@
+"""Mobility models for the trace-driven mobile experiments (Sec 4.3.4).
+
+Two sources of channel dynamics, matching the paper's two trace types:
+
+* :class:`RandomWalkModel` — receivers carried by walking people ("two people
+  hold the laptops and walk randomly for a minute").
+* :class:`EnvironmentMotionModel` — static receivers with people walking
+  between AP and receivers, intermittently blocking the direct path.
+
+Both are stepped at the 802.11ad beacon interval (100 ms, i.e. 10 CSI
+measurements per second, as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import ChannelError
+from ..types import Position, validate_seed
+from .propagation import HUMAN_BLOCKAGE_DB, segment_point_distance
+from .raytracer import Room
+
+#: 802.11ad ACO beacon interval in seconds.
+BEACON_INTERVAL_S = 0.1
+
+
+@dataclass
+class RandomWalkModel:
+    """A bounded random walk at walking speed for one mobile receiver.
+
+    Direction evolves as a wrapped Gaussian (heading persistence); the walker
+    bounces off walls.  Speed is re-drawn occasionally around 1 m/s.
+    """
+
+    room: Room
+    start: Position
+    speed_mps: float = 1.0
+    heading_std_rad: float = 0.6
+    seed: int = 0
+    _position: Position = field(init=False)
+    _heading: float = field(init=False)
+    _rng: np.random.Generator = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.room.contains(self.start):
+            raise ChannelError(f"start {self.start} outside room {self.room}")
+        if self.speed_mps <= 0:
+            raise ChannelError(f"speed must be positive, got {self.speed_mps}")
+        self._rng = validate_seed(self.seed)
+        self._position = self.start
+        self._heading = float(self._rng.uniform(-np.pi, np.pi))
+
+    @property
+    def position(self) -> Position:
+        """Current walker position."""
+        return self._position
+
+    def step(self, dt_s: float = BEACON_INTERVAL_S) -> Position:
+        """Advance the walk by ``dt_s`` and return the new position."""
+        self._heading += float(self._rng.normal(0.0, self.heading_std_rad * np.sqrt(dt_s)))
+        speed = self.speed_mps * float(self._rng.uniform(0.7, 1.3))
+        x = self._position.x + speed * dt_s * np.cos(self._heading)
+        y = self._position.y + speed * dt_s * np.sin(self._heading)
+        margin = 0.2
+        if not (margin <= x <= self.room.length - margin):
+            self._heading = np.pi - self._heading
+        if not (margin <= y <= self.room.width - margin):
+            self._heading = -self._heading
+        self._position = self.room.clamp(x, y, margin=margin)
+        return self._position
+
+
+@dataclass
+class EnvironmentMotionModel:
+    """People walking through the room, blocking line-of-sight paths.
+
+    Each blocker follows its own random walk; a path from the AP to a
+    receiver suffers :data:`HUMAN_BLOCKAGE_DB` of extra loss whenever any
+    blocker comes within ``blocker_radius_m`` of the direct segment.
+    """
+
+    room: Room
+    ap_position: Position
+    num_blockers: int = 2
+    blocker_radius_m: float = 0.35
+    seed: int = 0
+    _walkers: List[RandomWalkModel] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_blockers < 0:
+            raise ChannelError(f"num_blockers must be >= 0, got {self.num_blockers}")
+        rng = validate_seed(self.seed)
+        self._walkers = []
+        for i in range(self.num_blockers):
+            start = self.room.clamp(
+                float(rng.uniform(0.2 * self.room.length, 0.8 * self.room.length)),
+                float(rng.uniform(0.2 * self.room.width, 0.8 * self.room.width)),
+            )
+            self._walkers.append(
+                RandomWalkModel(
+                    room=self.room,
+                    start=start,
+                    speed_mps=1.2,
+                    seed=int(rng.integers(0, 2**31)),
+                )
+            )
+
+    def step(self, dt_s: float = BEACON_INTERVAL_S) -> None:
+        """Advance all blockers."""
+        for walker in self._walkers:
+            walker.step(dt_s)
+
+    def blocker_positions(self) -> List[Position]:
+        """Current blocker positions."""
+        return [w.position for w in self._walkers]
+
+    def los_extra_loss_db(self, receivers: Dict[int, Position]) -> Dict[int, float]:
+        """Per-receiver extra loss on the direct path from current blockers."""
+        losses: Dict[int, float] = {}
+        ap = self.ap_position.as_array()
+        for user, pos in receivers.items():
+            loss = 0.0
+            for walker in self._walkers:
+                distance = segment_point_distance(ap, pos.as_array(), walker.position.as_array())
+                if distance <= self.blocker_radius_m:
+                    loss += HUMAN_BLOCKAGE_DB
+            losses[user] = loss
+        return losses

@@ -1,0 +1,220 @@
+"""Image-method indoor ray tracer (substitute for Wireless Insite, Sec 4.3).
+
+The paper scans a meeting room with lidar and feeds the 3-D model to a
+commercial ray tracer.  We model a parametric rectangular room and trace
+specular paths with the image method: the line-of-sight path plus first- and
+second-order wall reflections.  This preserves what the evaluation depends
+on — distance-dependent signal strength, angular selectivity across user
+placements, and multipath diversity — without the proprietary tool.
+
+Geometry is 2-D (azimuth plane), matching the sector-level-sweep abstraction
+of 802.11ad beam training.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import ChannelError
+from ..types import Position
+from .propagation import REFLECTION_LOSS_DB, free_space_path_loss_db
+
+
+@dataclass(frozen=True)
+class Path:
+    """One propagation path from AP to a receiver.
+
+    Attributes:
+        length_m: Total travelled distance.
+        aod_rad: Angle of departure at the AP, measured from the AP's
+            broadside direction.
+        num_bounces: 0 for line of sight, 1 or 2 for reflections.
+        loss_db: Total power loss (free space + reflections), excluding any
+            time-varying blockage.
+        is_los: Whether this is the direct path (blockage applies here).
+    """
+
+    length_m: float
+    aod_rad: float
+    num_bounces: int
+    loss_db: float
+
+    @property
+    def is_los(self) -> bool:
+        return self.num_bounces == 0
+
+
+@dataclass(frozen=True)
+class Room:
+    """An axis-aligned rectangular room ``[0, length] x [0, width]`` metres."""
+
+    length: float = 20.0
+    width: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.length <= 0 or self.width <= 0:
+            raise ChannelError(f"room dimensions must be positive, got {self}")
+
+    def contains(self, position: Position) -> bool:
+        """Whether a position lies inside the room."""
+        return 0.0 <= position.x <= self.length and 0.0 <= position.y <= self.width
+
+    def clamp(self, x: float, y: float, margin: float = 0.1) -> Position:
+        """Clamp raw coordinates into the room with a wall margin."""
+        return Position(
+            float(np.clip(x, margin, self.length - margin)),
+            float(np.clip(y, margin, self.width - margin)),
+        )
+
+    def _mirror(self, point: np.ndarray, wall: int) -> np.ndarray:
+        """Mirror a point across wall 0..3 (x=0, x=length, y=0, y=width)."""
+        mirrored = point.copy()
+        if wall == 0:
+            mirrored[0] = -point[0]
+        elif wall == 1:
+            mirrored[0] = 2.0 * self.length - point[0]
+        elif wall == 2:
+            mirrored[1] = -point[1]
+        elif wall == 3:
+            mirrored[1] = 2.0 * self.width - point[1]
+        else:
+            raise ChannelError(f"wall index {wall} out of range")
+        return mirrored
+
+
+class RayTracer:
+    """Traces LoS + up to second-order specular paths within a room.
+
+    Args:
+        room: Room geometry.
+        ap_position: AP location (must be inside the room).
+        ap_boresight_rad: Azimuth of the AP array broadside in world
+            coordinates (0 points along +x).
+        max_bounces: 0, 1 or 2 reflection orders.
+    """
+
+    def __init__(
+        self,
+        room: Room,
+        ap_position: Position,
+        ap_boresight_rad: float = 0.0,
+        max_bounces: int = 2,
+    ) -> None:
+        if not room.contains(ap_position):
+            raise ChannelError(f"AP position {ap_position} outside room {room}")
+        if max_bounces not in (0, 1, 2):
+            raise ChannelError(f"max_bounces must be 0, 1 or 2, got {max_bounces}")
+        self.room = room
+        self.ap_position = ap_position
+        self.ap_boresight_rad = float(ap_boresight_rad)
+        self.max_bounces = int(max_bounces)
+
+    def trace(self, receiver: Position) -> List[Path]:
+        """All propagation paths from the AP to ``receiver``.
+
+        Paths are sorted by increasing loss (strongest first).
+        """
+        if not self.room.contains(receiver):
+            raise ChannelError(f"receiver {receiver} outside room {self.room}")
+        ap = self.ap_position.as_array()
+        rx = receiver.as_array()
+        paths = [self._path_to_image(ap, rx, bounces=0)]
+
+        if self.max_bounces >= 1:
+            for wall in range(4):
+                image = self.room._mirror(rx, wall)
+                paths.append(self._path_to_image(ap, image, bounces=1))
+        if self.max_bounces >= 2:
+            for wall_a, wall_b in itertools.permutations(range(4), 2):
+                image = self.room._mirror(self.room._mirror(rx, wall_a), wall_b)
+                paths.append(self._path_to_image(ap, image, bounces=2))
+        paths.sort(key=lambda p: p.loss_db)
+        return paths
+
+    def _path_to_image(
+        self, ap: np.ndarray, image: np.ndarray, bounces: int
+    ) -> Path:
+        delta = image - ap
+        length = float(np.linalg.norm(delta))
+        length = max(length, 0.05)
+        world_angle = float(np.arctan2(delta[1], delta[0]))
+        aod = self._wrap(world_angle - self.ap_boresight_rad)
+        loss = free_space_path_loss_db(length) + bounces * REFLECTION_LOSS_DB
+        return Path(length_m=length, aod_rad=aod, num_bounces=bounces, loss_db=loss)
+
+    @staticmethod
+    def _wrap(angle: float) -> float:
+        """Wrap an angle to (-pi, pi]."""
+        return float((angle + np.pi) % (2.0 * np.pi) - np.pi)
+
+
+def place_users_arc(
+    ap_position: Position,
+    room: Room,
+    num_users: int,
+    distance_m: float,
+    max_angular_spacing_rad: float,
+    rng: np.random.Generator,
+    boresight_rad: float = 0.0,
+) -> List[Position]:
+    """Place users on an arc around the AP (the paper's testbed layout).
+
+    Users sit at ``distance_m`` from the AP with angular positions drawn
+    uniformly inside a window of ``max_angular_spacing_rad`` centred on the
+    AP boresight; the leftmost/rightmost users span at most that window
+    (Sec 4.2's "maximum angular spacing").
+    """
+    if num_users < 1:
+        raise ChannelError(f"num_users must be >= 1, got {num_users}")
+    if distance_m <= 0:
+        raise ChannelError(f"distance must be positive, got {distance_m}")
+    half = max_angular_spacing_rad / 2.0
+    if num_users == 1:
+        angles = np.array([rng.uniform(-half, half)])
+    else:
+        angles = rng.uniform(-half, half, size=num_users)
+        # Force the extremes so the realised MAS equals the requested one.
+        angles[0], angles[-1] = -half, half
+    users = []
+    for angle in angles:
+        world = boresight_rad + float(angle)
+        x = ap_position.x + distance_m * np.cos(world)
+        y = ap_position.y + distance_m * np.sin(world)
+        users.append(room.clamp(x, y))
+    return users
+
+
+def place_users_random_range(
+    ap_position: Position,
+    room: Room,
+    num_users: int,
+    min_distance_m: float,
+    max_distance_m: float,
+    max_angular_spacing_rad: float,
+    rng: np.random.Generator,
+    boresight_rad: float = 0.0,
+) -> List[Position]:
+    """Place users at random distances in a range (Fig 11/14/15 layout)."""
+    if min_distance_m <= 0 or max_distance_m < min_distance_m:
+        raise ChannelError(
+            f"bad distance range [{min_distance_m}, {max_distance_m}]"
+        )
+    half = max_angular_spacing_rad / 2.0
+    users = []
+    for i in range(num_users):
+        if num_users > 1 and i == 0:
+            angle = -half
+        elif num_users > 1 and i == num_users - 1:
+            angle = half
+        else:
+            angle = float(rng.uniform(-half, half))
+        distance = float(rng.uniform(min_distance_m, max_distance_m))
+        world = boresight_rad + angle
+        x = ap_position.x + distance * np.cos(world)
+        y = ap_position.y + distance * np.sin(world)
+        users.append(room.clamp(x, y))
+    return users

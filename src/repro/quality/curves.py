@@ -1,0 +1,130 @@
+"""Per-frame quality context and ground-truth quality curves.
+
+Two distinct consumers need per-frame quality information:
+
+* The **scheduler** (Sec 2.4) evaluates the DNN ``Q(D_1..D_4)`` while
+  optimizing time allocation.  It needs the per-frame features that are
+  constant during the optimization — the cumulative per-layer SSIM values and
+  the blank-frame SSIM — bundled here as :class:`FrameFeatureContext`.
+* **Tests and sanity checks** need a fast ground-truth quality estimate
+  without running the decoder; :class:`ProgressiveQualityCurve` interpolates
+  real decoded quality along the progressive-fill path (lower layers first),
+  which is the path a well-behaved scheduler produces.
+
+End-to-end emulation never uses the interpolated curve for reported numbers —
+it decodes the actual delivered sublayers and measures SSIM/PSNR directly, so
+reported quality is not circular with the model the optimizer climbs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import QualityModelError
+from ..types import NUM_LAYERS
+from ..video.dataset import FrameQualityProbe
+
+
+@dataclass(frozen=True)
+class FrameFeatureContext:
+    """Static per-frame inputs of the quality model (features 5-9, Sec 2.3).
+
+    Attributes:
+        cumulative_ssim: SSIM when everything up to layer i is received,
+            for i = 0..3.
+        blank_ssim: SSIM of the blank frame against this frame.
+        layer_sizes: Per-layer sizes in bytes (to normalise received data
+            into the model's fraction features).
+    """
+
+    cumulative_ssim: Sequence[float]
+    blank_ssim: float
+    layer_sizes: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.cumulative_ssim) != NUM_LAYERS:
+            raise QualityModelError(
+                f"need {NUM_LAYERS} cumulative SSIM values, got "
+                f"{len(self.cumulative_ssim)}"
+            )
+        if len(self.layer_sizes) != NUM_LAYERS:
+            raise QualityModelError(
+                f"need {NUM_LAYERS} layer sizes, got {len(self.layer_sizes)}"
+            )
+        if any(s <= 0 for s in self.layer_sizes):
+            raise QualityModelError("layer sizes must be positive")
+
+    @classmethod
+    def from_probe(cls, probe: FrameQualityProbe) -> "FrameFeatureContext":
+        """Build the context from an encoded frame probe."""
+        return cls(
+            cumulative_ssim=tuple(float(v) for v in probe.cumulative_ssim),
+            blank_ssim=float(probe.blank_ssim),
+            layer_sizes=tuple(probe.codec.structure.layer_sizes()),
+        )
+
+    def features_for_bytes(self, bytes_per_layer: np.ndarray) -> np.ndarray:
+        """Assemble 9-feature rows from per-layer byte counts.
+
+        Args:
+            bytes_per_layer: Array ``(..., 4)`` of received bytes per layer.
+
+        Returns:
+            Array ``(..., 9)`` ready for the quality model.
+        """
+        amounts = np.asarray(bytes_per_layer, dtype=float)
+        if amounts.shape[-1] != NUM_LAYERS:
+            raise QualityModelError(
+                f"last axis must be {NUM_LAYERS}, got {amounts.shape}"
+            )
+        fractions = np.clip(amounts / np.asarray(self.layer_sizes, dtype=float), 0, 1)
+        static = np.concatenate(
+            [np.asarray(self.cumulative_ssim, dtype=float), [self.blank_ssim]]
+        )
+        tiled = np.broadcast_to(static, fractions.shape[:-1] + (NUM_LAYERS + 1,))
+        return np.concatenate([fractions, tiled], axis=-1)
+
+
+class ProgressiveQualityCurve:
+    """Interpolated ground-truth quality along the progressive-fill path.
+
+    Progress ``p`` in ``[0, 4]`` means layers ``0 .. floor(p)-1`` are complete
+    and layer ``floor(p)`` is ``frac(p)`` received.  Quality at sampled
+    progress points is measured by actually decoding; queries interpolate
+    linearly.
+    """
+
+    def __init__(self, probe: FrameQualityProbe, points_per_layer: int = 4):
+        if points_per_layer < 1:
+            raise QualityModelError("points_per_layer must be >= 1")
+        progress = np.linspace(0.0, float(NUM_LAYERS), NUM_LAYERS * points_per_layer + 1)
+        ssims = []
+        psnrs = []
+        for p in progress:
+            fractions = np.clip(p - np.arange(NUM_LAYERS), 0.0, 1.0)
+            quality, quality_db = probe.measure(fractions)
+            ssims.append(quality)
+            psnrs.append(quality_db)
+        self._progress = progress
+        self._ssim = np.asarray(ssims)
+        self._psnr = np.asarray(psnrs)
+
+    def ssim_at(self, progress: float) -> float:
+        """Interpolated SSIM at a progressive-fill progress in [0, 4]."""
+        return float(np.interp(progress, self._progress, self._ssim))
+
+    def psnr_at(self, progress: float) -> float:
+        """Interpolated PSNR (dB) at a progressive-fill progress in [0, 4]."""
+        return float(np.interp(progress, self._progress, self._psnr))
+
+    @staticmethod
+    def progress_of_fractions(fractions: Sequence[float]) -> float:
+        """Collapse a per-layer fraction vector onto the progressive path.
+
+        Exact when the vector actually is progressive; a conservative
+        lower-ish summary otherwise (it just sums the fractions).
+        """
+        return float(np.sum(np.clip(np.asarray(fractions, dtype=float), 0.0, 1.0)))

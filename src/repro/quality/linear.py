@@ -1,0 +1,56 @@
+"""Ordinary least-squares linear regression (Table 1 baseline)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import QualityModelError
+
+
+class LinearRegressionModel:
+    """Linear regression with an intercept, solved by least squares.
+
+    One of the three quality models compared in Table 1.  The relationship
+    between layer reception and SSIM is strongly non-linear, so this model
+    underfits — by design, it is the baseline the DNN is compared against.
+    """
+
+    def __init__(self) -> None:
+        self._weights: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._weights is not None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "LinearRegressionModel":
+        """Fit on a feature matrix ``(n, d)`` and target vector ``(n,)``."""
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if features.ndim != 2 or targets.ndim != 1:
+            raise QualityModelError(
+                f"expected 2-D features and 1-D targets, got "
+                f"{features.shape} and {targets.shape}"
+            )
+        if features.shape[0] != targets.shape[0]:
+            raise QualityModelError(
+                f"{features.shape[0]} feature rows vs {targets.shape[0]} targets"
+            )
+        design = np.hstack([features, np.ones((features.shape[0], 1))])
+        self._weights, *_ = np.linalg.lstsq(design, targets, rcond=None)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for a feature matrix ``(n, d)`` or vector ``(d,)``."""
+        if self._weights is None:
+            raise QualityModelError("model is not fitted")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        design = np.hstack([features, np.ones((features.shape[0], 1))])
+        return design @ self._weights
+
+    def mse(self, features: np.ndarray, targets: np.ndarray) -> float:
+        """Mean squared prediction error on a held-out set."""
+        predictions = self.predict(features)
+        return float(np.mean((predictions - np.asarray(targets, dtype=float)) ** 2))

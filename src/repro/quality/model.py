@@ -1,0 +1,124 @@
+"""Training/evaluation harness for the quality models (Table 1, Fig 1b)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..errors import QualityModelError
+from ..types import NUM_LAYERS
+from ..video.dataset import QualityDataset, generate_dataset
+from ..video.synthetic import SyntheticVideo, make_standard_videos
+from .dnn import DNNQualityModel
+from .linear import LinearRegressionModel
+from .svm import SVRModel
+
+
+class QualityModel(Protocol):
+    """The minimal interface all quality models implement."""
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "QualityModel":
+        """Train on features/targets."""
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Estimate quality for a feature matrix."""
+
+    def mse(self, features: np.ndarray, targets: np.ndarray) -> float:
+        """Mean squared error on a held-out set."""
+
+
+@dataclass
+class TrainedQualityModels:
+    """The three Table 1 models plus their train/test data and test MSEs."""
+
+    models: Dict[str, QualityModel]
+    test_mse: Dict[str, float]
+    train: QualityDataset
+    test: QualityDataset
+
+    @property
+    def dnn(self) -> DNNQualityModel:
+        """The DNN model (the one the scheduler uses)."""
+        model = self.models["dnn"]
+        assert isinstance(model, DNNQualityModel)
+        return model
+
+    def per_layer_accuracy(self, layer: int) -> Dict[str, float]:
+        """Fig 1(b): mean/min/max DNN estimation accuracy for test samples
+        whose highest partially- or fully-received layer is ``layer``.
+
+        Accuracy of one sample is ``1 - |estimated - actual|``.
+        """
+        fractions = self.test.features[:, :NUM_LAYERS]
+        received = fractions > 0.0
+        top = np.where(
+            received.any(axis=1), NUM_LAYERS - 1 - received[:, ::-1].argmax(axis=1), 0
+        )
+        mask = top == layer
+        if not mask.any():
+            return {"mean": float("nan"), "min": float("nan"), "max": float("nan")}
+        estimates = self.dnn.predict(self.test.features[mask])
+        accuracy = 1.0 - np.abs(estimates - self.test.ssim[mask])
+        return {
+            "mean": float(accuracy.mean()),
+            "min": float(accuracy.min()),
+            "max": float(accuracy.max()),
+        }
+
+
+def train_quality_models(
+    dataset: Optional[QualityDataset] = None,
+    videos: Optional[Sequence[SyntheticVideo]] = None,
+    dnn_epochs: int = 500,
+    dnn_batch_size: int = 128,
+    metric: str = "ssim",
+    seed: int = 0,
+) -> TrainedQualityModels:
+    """Train all three Table 1 models on a 7:3 split of the dataset.
+
+    Args:
+        dataset: Pre-generated dataset; generated from ``videos`` (or the
+            standard 6-video corpus) when omitted.
+        videos: Corpus for dataset generation when ``dataset`` is None.
+        dnn_epochs: DNN training epochs (paper: 500; tests use fewer).
+        dnn_batch_size: DNN mini-batch size (paper: 128; small datasets
+            benefit from a smaller batch so Adam takes more steps).
+        metric: ``"ssim"`` (paper default) or ``"psnr"`` — the methodology
+            "is general enough to support other video quality metrics, such
+            as PSNR" (Sec 2.3).  PSNR targets are trained in a 0-1
+            normalised range (dB / 100) so the shared architecture applies.
+        seed: Split/initialisation seed.
+    """
+    if metric not in ("ssim", "psnr"):
+        raise QualityModelError(f"metric must be 'ssim' or 'psnr', got {metric!r}")
+    if dataset is None:
+        dataset = generate_dataset(videos or make_standard_videos(), seed=seed)
+    train, test = dataset.split(train_fraction=0.7, seed=seed)
+    train_targets = train.ssim if metric == "ssim" else train.psnr / 100.0
+    test_targets = test.ssim if metric == "ssim" else test.psnr / 100.0
+
+    models: Dict[str, QualityModel] = {
+        "svm": SVRModel(seed=seed),
+        "linear_regression": LinearRegressionModel(),
+        "dnn": DNNQualityModel(epochs=dnn_epochs, batch_size=dnn_batch_size, seed=seed),
+    }
+    test_mse: Dict[str, float] = {}
+    for name, model in models.items():
+        model.fit(train.features, train_targets)
+        test_mse[name] = model.mse(test.features, test_targets)
+    return TrainedQualityModels(models=models, test_mse=test_mse, train=train, test=test)
+
+
+def train_default_dnn(
+    dataset: Optional[QualityDataset] = None,
+    epochs: int = 300,
+    seed: int = 0,
+) -> DNNQualityModel:
+    """Convenience: train only the DNN (what the streaming system needs)."""
+    if dataset is None:
+        dataset = generate_dataset(make_standard_videos(), seed=seed)
+    model = DNNQualityModel(epochs=epochs, seed=seed)
+    model.fit(dataset.features, dataset.ssim)
+    return model

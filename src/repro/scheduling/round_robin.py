@@ -1,0 +1,85 @@
+"""Round-robin scheduling baseline (Sec 4.2.2).
+
+"[round-robin] enumerates all possible user groups and uses round-robin to
+schedule across different user groups (the sender transmits to each group for
+1 ms and then selects the next group ...)".
+
+Time is therefore split equally across candidate groups regardless of their
+rate or their members' marginal video quality; within its slice each group
+simply fills layers bottom-up for its own members.  Overlapping groups
+re-send the same low layers — the redundancy the optimized scheduler avoids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import SchedulingError
+from ..quality.curves import FrameFeatureContext
+from ..types import FRAME_BUDGET_30FPS, NUM_LAYERS
+from .allocation import AllocationResult
+from .groups import CandidateGroup
+
+#: Round-robin slot length from the paper.
+SLOT_S = 1e-3
+
+
+def round_robin_allocation(
+    groups: Sequence[CandidateGroup],
+    contexts: Dict[int, FrameFeatureContext],
+    frame_budget_s: float = FRAME_BUDGET_30FPS,
+) -> AllocationResult:
+    """Equal-time round-robin allocation in 1 ms slots.
+
+    Produces the same :class:`AllocationResult` interface as the optimizer so
+    the rest of the pipeline is agnostic to the scheduling policy.
+    """
+    if not groups:
+        raise SchedulingError("no candidate groups")
+    num_groups = len(groups)
+    num_slots = max(1, int(frame_budget_s / SLOT_S))
+    slots_per_group = np.zeros(num_groups)
+    for slot in range(num_slots):
+        slots_per_group[slot % num_groups] += 1
+    group_time = slots_per_group * SLOT_S
+
+    layer_sizes = _common_layer_sizes(contexts)
+    time = np.zeros((num_groups, NUM_LAYERS))
+    for gi, group in enumerate(groups):
+        budget_bytes = group_time[gi] * group.rate_bytes_per_s
+        for layer in range(NUM_LAYERS):
+            layer_bytes = min(budget_bytes, layer_sizes[layer])
+            time[gi, layer] = (
+                layer_bytes / group.rate_bytes_per_s if group.rate_bytes_per_s else 0.0
+            )
+            budget_bytes -= layer_bytes
+            if budget_bytes <= 0:
+                break
+
+    bytes_alloc = time * np.array([g.rate_bytes_per_s for g in groups])[:, None]
+    users = sorted(contexts)
+    membership = np.zeros((len(users), num_groups), dtype=bool)
+    for gi, group in enumerate(groups):
+        for user in group.user_ids:
+            if user in contexts:
+                membership[users.index(user), gi] = True
+    per_user = {
+        u: (membership[k][:, None] * bytes_alloc).sum(axis=0)
+        for k, u in enumerate(users)
+    }
+    return AllocationResult(
+        groups=list(groups),
+        time_s=time,
+        bytes_allocated=bytes_alloc,
+        per_user_bytes=per_user,
+        predicted_quality={},
+    )
+
+
+def _common_layer_sizes(contexts: Dict[int, FrameFeatureContext]) -> List[float]:
+    if not contexts:
+        raise SchedulingError("no user contexts")
+    first = next(iter(contexts.values()))
+    return [float(s) for s in first.layer_sizes]

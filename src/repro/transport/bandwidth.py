@@ -1,0 +1,98 @@
+"""Receiver-side bandwidth estimation (Sec 2.7).
+
+Each receiver measures the link bandwidth from the arrival spacing of 100
+back-to-back data packets and feeds it back; the sender uses the estimate
+reported during the previous frame to set the leaky-bucket rate for the next
+one.  The paper samples the probe packets from the highest layer so probe
+losses (probes bypass rate control and are congestion-prone) never cost base
+layer content; in the emulator the probes are the last 100 packets of the
+frame, which the layer-ordered scheduler naturally fills with top-layer
+symbols.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import TransportError
+
+#: Number of packets in one measurement window (the paper's choice).
+MEASUREMENT_WINDOW_PACKETS = 100
+
+
+class BandwidthEstimator:
+    """Arrival-spacing bandwidth estimator with exponential smoothing.
+
+    Args:
+        smoothing: EWMA factor applied across frames (1.0 = use only the
+            newest measurement).
+        noise_std_fraction: Relative measurement noise; real arrival
+            timestamps jitter with interrupt coalescing etc.
+    """
+
+    def __init__(self, smoothing: float = 0.6, noise_std_fraction: float = 0.05):
+        if not 0.0 < smoothing <= 1.0:
+            raise TransportError(f"smoothing must be in (0, 1], got {smoothing}")
+        self.smoothing = float(smoothing)
+        self.noise_std_fraction = float(noise_std_fraction)
+        self._estimate_bytes_per_s: Optional[float] = None
+
+    @property
+    def estimate_bytes_per_s(self) -> Optional[float]:
+        """Current smoothed estimate, or None before the first measurement."""
+        return self._estimate_bytes_per_s
+
+    def observe_window(
+        self,
+        delivered_bytes: float,
+        window_s: float,
+        rng: np.random.Generator,
+    ) -> float:
+        """Fold one measurement window into the estimate.
+
+        Args:
+            delivered_bytes: Payload bytes that actually arrived in the
+                window (losses reduce the measured bandwidth, exactly as they
+                stretch real arrival gaps).
+            window_s: Duration of the window.
+            rng: Measurement-noise source.
+
+        Returns:
+            The updated estimate in bytes/s.
+        """
+        if window_s <= 0:
+            raise TransportError(f"window must be positive, got {window_s}")
+        measured = max(0.0, delivered_bytes / window_s)
+        measured *= float(1.0 + rng.normal(0.0, self.noise_std_fraction))
+        measured = max(measured, 1e-9)
+        if self._estimate_bytes_per_s is None:
+            self._estimate_bytes_per_s = measured
+        else:
+            self._estimate_bytes_per_s = (
+                self.smoothing * measured
+                + (1.0 - self.smoothing) * self._estimate_bytes_per_s
+            )
+        return self._estimate_bytes_per_s
+
+    def observe_fraction(
+        self, delivered_fraction: float, rng: np.random.Generator
+    ) -> float:
+        """Fold a delivery-fraction measurement into the estimate.
+
+        The emulated receiver reports the fraction of packets that arrived;
+        the sender multiplies it by each group's nominal rate to get the
+        sustainable goodput — equivalent to the paper's arrival-spacing
+        estimate (losses stretch arrival gaps by exactly this factor) but
+        independent of how much of the frame budget the group occupied.
+        """
+        if not 0.0 <= delivered_fraction <= 1.0:
+            raise TransportError(
+                f"fraction must be in [0, 1], got {delivered_fraction}"
+            )
+        return self.observe_window(delivered_fraction, 1.0, rng)
+
+    def reset(self) -> None:
+        """Forget all measurements (e.g. after re-association)."""
+        self._estimate_bytes_per_s = None

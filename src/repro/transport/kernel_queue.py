@@ -1,0 +1,80 @@
+"""Kernel transmit-queue model for the no-rate-control ablation (Sec 4.2.3).
+
+Without rate control "the AP sends packets to the driver continuously until
+the kernel's queue is full.  This triggers packet drop and leads to low
+quality for several frames."  We model a finite FIFO drained at the link
+rate: the application writes the whole frame burst at CPU speed, so packets
+beyond (queue capacity + what drains within the deadline) are tail-dropped —
+and because the burst is written in one go, drops land across all layers
+instead of only the least-important tail the paced sender would shed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import TransportError
+
+
+class KernelQueue:
+    """A finite driver queue drained at link speed.
+
+    Args:
+        capacity_packets: Queue depth in packets.
+    """
+
+    def __init__(self, capacity_packets: int = 700) -> None:
+        if capacity_packets <= 0:
+            raise TransportError(
+                f"capacity must be positive, got {capacity_packets}"
+            )
+        self.capacity_packets = int(capacity_packets)
+
+    def admitted_mask(
+        self,
+        num_packets: int,
+        packet_bytes: float,
+        drain_rate_bytes_per_s: float,
+        window_s: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Which of a burst of packets survive the queue.
+
+        Args:
+            num_packets: Burst size written at once.
+            packet_bytes: Size of each packet.
+            drain_rate_bytes_per_s: Link drain rate.
+            window_s: Time available for draining (the frame budget).
+            rng: Randomness for which packets are dropped.
+
+        Returns:
+            Boolean mask of admitted packets.  The overflow volume is dropped
+            uniformly at random over the burst — bursty writers interleave
+            layers, so overflow does not politely trim the tail.
+        """
+        if num_packets <= 0:
+            return np.zeros(0, dtype=bool)
+        # The application writes the burst much faster than the link drains:
+        # only what drains during the write window plus the queue capacity
+        # gets through.
+        write_window_s = 0.5 * window_s
+        drained = int(
+            drain_rate_bytes_per_s * write_window_s / max(packet_bytes, 1e-9)
+        )
+        admitted = min(num_packets, self.capacity_packets + drained)
+        mask = np.ones(num_packets, dtype=bool)
+        overflow = num_packets - admitted
+        if overflow > 0:
+            drop_idx = rng.choice(num_packets, size=overflow, replace=False)
+            mask[drop_idx] = False
+        return mask
+
+    def drain_time_s(
+        self, num_packets: int, packet_bytes: float, drain_rate_bytes_per_s: float
+    ) -> float:
+        """Time for the admitted burst to leave the queue."""
+        if drain_rate_bytes_per_s <= 0:
+            raise TransportError("drain rate must be positive")
+        return num_packets * packet_bytes / drain_rate_bytes_per_s

@@ -1,0 +1,79 @@
+"""Leaky-bucket rate control (Sec 2.7).
+
+For each multicast group the sender holds a credit in bytes.  Credit refills
+continuously at the desired sending rate and is capped at a small maximum
+(default 10 packets' worth) to bound queueing delay while sustaining
+throughput; each transmitted packet consumes its size in credit.
+"""
+
+from __future__ import annotations
+
+from ..errors import TransportError
+
+
+class LeakyBucket:
+    """Credit-based pacer for one multicast group.
+
+    Args:
+        rate_bytes_per_s: Average credit filling rate (set to the expected
+            throughput of the group's MCS, later to the receiver-fed-back
+            bandwidth estimate).
+        capacity_bytes: Maximum credit held at once (the paper uses ~10
+            packets to limit delay).
+        initial_credit_bytes: Credit at time zero (defaults to full).
+    """
+
+    def __init__(
+        self,
+        rate_bytes_per_s: float,
+        capacity_bytes: float,
+        initial_credit_bytes: float = -1.0,
+    ) -> None:
+        if rate_bytes_per_s <= 0:
+            raise TransportError(f"rate must be positive, got {rate_bytes_per_s}")
+        if capacity_bytes <= 0:
+            raise TransportError(f"capacity must be positive, got {capacity_bytes}")
+        self.rate_bytes_per_s = float(rate_bytes_per_s)
+        self.capacity_bytes = float(capacity_bytes)
+        self._credit = (
+            self.capacity_bytes if initial_credit_bytes < 0 else float(initial_credit_bytes)
+        )
+        self._last_refill_s = 0.0
+
+    @property
+    def credit_bytes(self) -> float:
+        """Credit as of the last refill."""
+        return self._credit
+
+    def set_rate(self, rate_bytes_per_s: float) -> None:
+        """Adjust the filling rate (bandwidth-feedback adaptation)."""
+        if rate_bytes_per_s <= 0:
+            raise TransportError(f"rate must be positive, got {rate_bytes_per_s}")
+        self.rate_bytes_per_s = float(rate_bytes_per_s)
+
+    def _refill(self, now_s: float) -> None:
+        if now_s < self._last_refill_s:
+            raise TransportError(
+                f"time went backwards: {now_s} < {self._last_refill_s}"
+            )
+        elapsed = now_s - self._last_refill_s
+        self._credit = min(
+            self.capacity_bytes, self._credit + elapsed * self.rate_bytes_per_s
+        )
+        self._last_refill_s = now_s
+
+    def try_send(self, nbytes: float, now_s: float) -> bool:
+        """Consume credit for a packet if available; returns success."""
+        self._refill(now_s)
+        if self._credit + 1e-12 >= nbytes:
+            self._credit -= nbytes
+            return True
+        return False
+
+    def time_until_send(self, nbytes: float, now_s: float) -> float:
+        """Seconds from ``now_s`` until a packet of ``nbytes`` may be sent."""
+        self._refill(now_s)
+        deficit = nbytes - self._credit
+        if deficit <= 0:
+            return 0.0
+        return deficit / self.rate_bytes_per_s

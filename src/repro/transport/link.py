@@ -1,0 +1,90 @@
+"""Emulated WiGig data link: SNR-margin packet loss and pseudo multicast.
+
+Packet error rate is a steep function of the margin between the receiver's
+true RSS (under the active beam) and the sensitivity of the MCS the packet is
+modulated at — the defining fragility of mmWave links: a few dB of channel
+degradation below sensitivity kills the link.
+
+Pseudo multicast (Sec 3.2): one STA is associated normally and keeps 802.11
+MAC retransmissions (its effective loss is ``PER^(1+retries)``); the other
+STAs run in monitor mode, capture frames not addressed to them, and see the
+raw PER.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import TransportError
+from ..phy.channel import ChannelModel, ChannelState
+from ..phy.mcs import McsEntry
+
+#: PER at exactly the MCS sensitivity.
+_PER_AT_SENSITIVITY = 1e-2
+
+#: PER floor for strong links (residual interference/collisions).
+_PER_FLOOR = 1e-4
+
+#: PER ceiling (even a dead link occasionally delivers a packet).
+_PER_CEILING = 0.97
+
+
+def packet_error_rate(margin_db: float) -> float:
+    """Packet error rate as a function of SNR margin above MCS sensitivity.
+
+    One decade per dB above sensitivity (fast waterfall), half a decade per
+    dB below it (progressive collapse as the channel degrades under the
+    selected MCS).
+    """
+    if margin_db >= 0:
+        per = _PER_AT_SENSITIVITY * 10.0 ** (-margin_db)
+    else:
+        per = _PER_AT_SENSITIVITY * 10.0 ** (-margin_db / 2.0)
+    return float(np.clip(per, _PER_FLOOR, _PER_CEILING))
+
+
+@dataclass
+class LinkModel:
+    """Per-packet delivery decisions through the true channel.
+
+    Args:
+        channel_model: Supplies the link budget for RSS computation.
+        associated_user: The STA associated with the AP (MAC retransmissions
+            apply); all others are monitor-mode receivers.
+        mac_retries: 802.11 retransmission attempts for the associated STA.
+    """
+
+    channel_model: ChannelModel
+    associated_user: Optional[int] = None
+    mac_retries: int = 2
+
+    def delivery_probability(
+        self,
+        user: int,
+        beam: np.ndarray,
+        true_state: ChannelState,
+        mcs: McsEntry,
+    ) -> float:
+        """Probability one packet reaches ``user`` under ``beam`` at ``mcs``."""
+        if user not in true_state.channels:
+            raise TransportError(f"no channel for user {user}")
+        rss = self.channel_model.rss_dbm(beam, true_state.channels[user])
+        per = packet_error_rate(rss - mcs.sensitivity_dbm)
+        if user == self.associated_user:
+            per = per ** (1 + max(0, self.mac_retries))
+        return float(1.0 - per)
+
+    def delivery_probabilities(
+        self,
+        users: Dict[int, None] | list,
+        beam: np.ndarray,
+        true_state: ChannelState,
+        mcs: McsEntry,
+    ) -> Dict[int, float]:
+        """Delivery probability for several users under one beam/MCS."""
+        return {
+            u: self.delivery_probability(u, beam, true_state, mcs) for u in users
+        }

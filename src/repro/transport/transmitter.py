@@ -1,0 +1,342 @@
+"""Per-frame packet transmission over the emulated links.
+
+Executes one video frame's transmission plan inside the 1/FR deadline:
+
+1. **Initial pass** — walk the coding-group assignments in order (lower
+   layers first), pacing each multicast group with its leaky bucket at
+   ``min(MCS rate, fed-back bandwidth)``; every packet is independently
+   delivered to each group member according to the SNR-margin PER under the
+   *true* channel.  Switching between groups costs the 25 us firmware beam /
+   MCS reconfiguration the paper measured (Sec 3.1).
+2. **Feedback rounds** — receivers report per-sublayer reception counts; the
+   sender computes the deficit P per unit and sends P makeup packets (fresh
+   fountain symbols, or — without source coding — the exact missing
+   segments), lowest layers first, until the deadline.
+
+Without rate control the initial pass instead dumps the whole burst into a
+finite kernel queue (Sec 4.2.3 ablation): overflow tail-drops uniformly over
+the burst, so losses hit base layers too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import TransportError
+from ..fountain.block import CodingUnitId, FrameBlockDecoder, FrameBlockEncoder
+from ..phy.channel import ChannelState
+from ..scheduling.coding_groups import UnitAssignment
+from ..scheduling.groups import CandidateGroup
+from .kernel_queue import KernelQueue
+from .leaky_bucket import LeakyBucket
+from .link import LinkModel
+
+#: Firmware beam + MCS switch overhead (Sec 3.1: ~25 us).
+GROUP_SWITCH_OVERHEAD_S = 25e-6
+
+#: UDP/IP/MAC header overhead per packet, bytes.
+HEADER_BYTES = 64
+
+#: One-way latency of a feedback report.
+FEEDBACK_LATENCY_S = 5e-4
+
+
+@dataclass
+class _TxState:
+    """Mutable clock/counters threaded through the transmission passes."""
+
+    clock_s: float
+    packets_sent: int
+    dropped_at_queue: int
+
+
+@dataclass
+class UserReception:
+    """What one receiver got out of a frame transmission."""
+
+    decoder: FrameBlockDecoder
+    delivered_payload_bytes: float = 0.0
+    packets_received: int = 0
+    packets_lost: int = 0
+
+
+@dataclass
+class TransmissionResult:
+    """Outcome of one frame's transmission.
+
+    Attributes:
+        receptions: Per-user reception state (decoders hold the symbols).
+        airtime_s: Total air/queue time consumed.
+        packets_sent: Packets put on the air (post rate-control/queue).
+        packets_dropped_at_queue: Packets lost in the kernel queue (only in
+            the no-rate-control mode).
+        feedback_rounds_used: Retransmission rounds that actually ran.
+    """
+
+    receptions: Dict[int, UserReception]
+    airtime_s: float
+    packets_sent: int
+    packets_dropped_at_queue: int
+    feedback_rounds_used: int
+
+
+@dataclass
+class FrameTransmitter:
+    """Transmits framed symbol schedules over emulated links.
+
+    Args:
+        link: Per-packet delivery model (true channels + pseudo multicast).
+        rate_control: Leaky-bucket pacing with bandwidth feedback (Sec 2.7);
+            when False, the kernel-queue burst model applies.
+        source_coding: Fountain coding on (fresh symbols, Sec 2.6) or off
+            (plain segments, duplicated across groups).
+        max_feedback_rounds: Retransmission rounds within the deadline.
+        kernel_queue: Queue model for the no-rate-control mode.
+        bucket_capacity_packets: Leaky-bucket depth in packets.
+    """
+
+    link: LinkModel
+    rate_control: bool = True
+    source_coding: bool = True
+    max_feedback_rounds: int = 2
+    kernel_queue: Optional[KernelQueue] = None
+    bucket_capacity_packets: int = 10
+
+    def transmit(
+        self,
+        encoder: FrameBlockEncoder,
+        assignments: Sequence[UnitAssignment],
+        groups: Sequence[CandidateGroup],
+        true_state: ChannelState,
+        budget_s: float,
+        rng: np.random.Generator,
+        rate_limits_bytes_per_s: Optional[Dict[int, float]] = None,
+    ) -> TransmissionResult:
+        """Run one frame's transmission and return per-user receptions.
+
+        Args:
+            encoder: The frame's fountain encoders.
+            assignments: Ordered (group, layer, sublayer, bytes) plan.
+            groups: Candidate groups the assignments index into.
+            true_state: Ground-truth channels during this frame.
+            budget_s: Frame deadline (1/FR).
+            rng: Loss and queue randomness.
+            rate_limits_bytes_per_s: Per-group bandwidth-feedback caps
+                (from the previous frame's receiver estimates).
+        """
+        if budget_s <= 0:
+            raise TransportError(f"budget must be positive, got {budget_s}")
+        receptions = {
+            u: UserReception(
+                decoder=FrameBlockDecoder(
+                    encoder.frame_index, encoder.structure, encoder.symbol_size
+                )
+            )
+            for u in true_state.user_ids
+        }
+        limits = rate_limits_bytes_per_s or {}
+        packet_bytes = encoder.symbol_size + HEADER_BYTES
+
+        # Resolve the effective pacing rate per group.
+        rates: Dict[int, float] = {}
+        for group in groups:
+            rate = group.rate_bytes_per_s
+            if self.rate_control and group.index in limits:
+                rate = min(rate, max(limits[group.index], packet_bytes / budget_s))
+            rates[group.index] = max(rate, 1e-6)
+
+        state = _TxState(clock_s=0.0, packets_sent=0, dropped_at_queue=0)
+        plan = self._expand_assignments(encoder, assignments, groups)
+
+        if self.rate_control:
+            self._paced_pass(plan, groups, rates, true_state, receptions,
+                             packet_bytes, budget_s, state, rng)
+        else:
+            self._burst_pass(plan, groups, rates, true_state, receptions,
+                             packet_bytes, budget_s, state, rng)
+
+        rounds = 0
+        for _ in range(max(0, self.max_feedback_rounds)):
+            if state.clock_s + FEEDBACK_LATENCY_S >= budget_s:
+                break
+            state.clock_s += FEEDBACK_LATENCY_S
+            makeup = self._makeup_plan(encoder, assignments, groups, receptions)
+            if not makeup:
+                break
+            rounds += 1
+            self._paced_pass(makeup, groups, rates, true_state, receptions,
+                             packet_bytes, budget_s, state, rng)
+
+        return TransmissionResult(
+            receptions=receptions,
+            airtime_s=min(state.clock_s, budget_s),
+            packets_sent=state.packets_sent,
+            packets_dropped_at_queue=state.dropped_at_queue,
+            feedback_rounds_used=rounds,
+        )
+
+    # ------------------------------------------------------------------ plan
+
+    def _expand_assignments(
+        self,
+        encoder: FrameBlockEncoder,
+        assignments: Sequence[UnitAssignment],
+        groups: Sequence[CandidateGroup],
+    ) -> List[Tuple[int, CodingUnitId, list]]:
+        """Turn byte budgets into concrete symbol lists per (group, unit)."""
+        plan = []
+        for assignment in assignments:
+            count = int(np.ceil(assignment.nbytes / encoder.symbol_size - 1e-9))
+            if count <= 0:
+                continue
+            unit = CodingUnitId(
+                encoder.frame_index, assignment.layer, assignment.sublayer
+            )
+            if self.source_coding:
+                symbols = encoder.next_symbols(unit, count)
+            else:
+                # Plain segments: every group's stream restarts at segment 0,
+                # so overlapping groups duplicate each other.
+                k = encoder.symbols_per_unit()
+                symbols = [encoder.symbol_at(unit, i % k) for i in range(count)]
+            plan.append((assignment.group_index, unit, symbols))
+        return plan
+
+    def _makeup_plan(
+        self,
+        encoder: FrameBlockEncoder,
+        assignments: Sequence[UnitAssignment],
+        groups: Sequence[CandidateGroup],
+        receptions: Dict[int, UserReception],
+    ) -> List[Tuple[int, CodingUnitId, list]]:
+        """Retransmission plan from per-sublayer feedback (Sec 2.6)."""
+        k = encoder.symbols_per_unit()
+        plan = []
+        seen_units = set()
+        for assignment in assignments:
+            unit = CodingUnitId(
+                encoder.frame_index, assignment.layer, assignment.sublayer
+            )
+            key = (assignment.group_index, unit)
+            if key in seen_units:
+                continue
+            seen_units.add(key)
+            group = groups[assignment.group_index]
+            members = [u for u in group.user_ids if u in receptions]
+            if not members:
+                continue
+            if self.source_coding:
+                deficit = max(
+                    k - receptions[u].decoder.unit_decoder(unit).received_count
+                    for u in members
+                )
+                if deficit <= 0:
+                    continue
+                plan.append(
+                    (assignment.group_index, unit, encoder.next_symbols(unit, deficit))
+                )
+            else:
+                missing: set = set()
+                for u in members:
+                    decoder = receptions[u].decoder.unit_decoder(unit)
+                    if not decoder.is_decoded:
+                        missing |= set(range(k)) - decoder.received_ids()
+                if not missing:
+                    continue
+                symbols = [encoder.symbol_at(unit, i) for i in sorted(missing)]
+                plan.append((assignment.group_index, unit, symbols))
+        return plan
+
+    # ------------------------------------------------------------------ passes
+
+    def _paced_pass(
+        self, plan, groups, rates, true_state, receptions,
+        packet_bytes, budget_s, state, rng,
+    ) -> None:
+        last_group = -1
+        for group_index, _unit, symbols in plan:
+            if not symbols:
+                continue
+            group = groups[group_index]
+            if group.plan.mcs is None:
+                continue
+            if group_index != last_group:
+                state.clock_s += GROUP_SWITCH_OVERHEAD_S
+                last_group = group_index
+            probs = self._member_probs(group, true_state, receptions)
+            airtime = packet_bytes / rates[group_index]
+            draws = rng.random((len(symbols), len(probs)))
+            for s_idx, symbol in enumerate(symbols):
+                if state.clock_s + airtime > budget_s:
+                    return
+                state.clock_s += airtime
+                state.packets_sent += 1
+                self._deliver(symbol, probs, draws[s_idx], receptions)
+
+    def _burst_pass(
+        self, plan, groups, rates, true_state, receptions,
+        packet_bytes, budget_s, state, rng,
+    ) -> None:
+        """No rate control: one big burst through the kernel queue."""
+        queue = self.kernel_queue or KernelQueue()
+        flat = [
+            (group_index, symbol)
+            for group_index, _unit, symbols in plan
+            for symbol in symbols
+        ]
+        if not flat:
+            return
+        mean_rate = float(np.mean([rates[g] for g, _ in flat]))
+        mask = queue.admitted_mask(
+            len(flat), packet_bytes, mean_rate, budget_s, rng
+        )
+        state.dropped_at_queue += int((~mask).sum())
+        member_prob_cache: Dict[int, Dict[int, float]] = {}
+        for (group_index, symbol), admitted in zip(flat, mask):
+            airtime = packet_bytes / rates[group_index]
+            if state.clock_s + airtime > budget_s:
+                break
+            if not admitted:
+                continue
+            group = groups[group_index]
+            if group.plan.mcs is None:
+                continue
+            state.clock_s += airtime
+            state.packets_sent += 1
+            if group_index not in member_prob_cache:
+                member_prob_cache[group_index] = self._member_probs(
+                    group, true_state, receptions
+                )
+            probs = member_prob_cache[group_index]
+            draws = rng.random(len(probs))
+            self._deliver(symbol, probs, draws, receptions)
+
+    # ------------------------------------------------------------------ utils
+
+    def _member_probs(
+        self,
+        group: CandidateGroup,
+        true_state: ChannelState,
+        receptions: Dict[int, UserReception],
+    ) -> Dict[int, float]:
+        return {
+            u: self.link.delivery_probability(
+                u, group.plan.beam, true_state, group.plan.mcs
+            )
+            for u in group.user_ids
+            if u in receptions
+        }
+
+    @staticmethod
+    def _deliver(symbol, probs: Dict[int, float], draws, receptions) -> None:
+        for (user, prob), draw in zip(probs.items(), np.atleast_1d(draws)):
+            reception = receptions[user]
+            if draw < prob:
+                reception.decoder.ingest(symbol)
+                reception.packets_received += 1
+                reception.delivered_payload_bytes += len(symbol.payload)
+            else:
+                reception.packets_lost += 1

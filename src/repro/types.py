@@ -1,0 +1,141 @@
+"""Common value types shared across subsystems.
+
+These are small frozen dataclasses and enums used at subsystem boundaries so
+that packages can interoperate without importing each other's internals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+#: Number of pyramid layers in the Jigsaw-style codec (base + 3 refinements).
+NUM_LAYERS = 4
+
+#: Frame budget for 30 FPS live video, in seconds (the paper's deadline).
+FRAME_BUDGET_30FPS = 1.0 / 30.0
+
+
+class Richness(enum.Enum):
+    """Spatial-richness class of a video, split by Y-plane variance (Sec 2.3)."""
+
+    HIGH = "high"
+    LOW = "low"
+
+
+class BeamformingScheme(enum.Enum):
+    """The four beamforming schemes compared throughout the evaluation."""
+
+    OPTIMIZED_MULTICAST = "optimized_multicast"
+    PREDEFINED_MULTICAST = "predefined_multicast"
+    OPTIMIZED_UNICAST = "optimized_unicast"
+    PREDEFINED_UNICAST = "predefined_unicast"
+
+
+class SchedulerKind(enum.Enum):
+    """Packet/time scheduling policies."""
+
+    OPTIMIZED = "optimized"
+    ROUND_ROBIN = "round_robin"
+
+
+class AdaptationPolicy(enum.Enum):
+    """Channel-adaptation policies for mobile experiments (Sec 4.3.4)."""
+
+    REALTIME_UPDATE = "realtime_update"
+    NO_UPDATE = "no_update"
+
+
+@dataclass(frozen=True)
+class Position:
+    """A 2-D position in metres within the room plane."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance in metres to ``other``."""
+        return float(np.hypot(self.x - other.x, self.y - other.y))
+
+    def angle_from(self, origin: "Position") -> float:
+        """Azimuth angle in radians of this point as seen from ``origin``."""
+        return float(np.arctan2(self.y - origin.y, self.x - origin.x))
+
+    def as_array(self) -> np.ndarray:
+        """Return the position as a length-2 float array."""
+        return np.array([self.x, self.y], dtype=float)
+
+
+@dataclass(frozen=True)
+class LayerAmounts:
+    """Per-layer data volumes (bytes) delivered to one user for one frame."""
+
+    bytes_per_layer: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.bytes_per_layer) != NUM_LAYERS:
+            raise ConfigurationError(
+                f"expected {NUM_LAYERS} layer amounts, got "
+                f"{len(self.bytes_per_layer)}"
+            )
+        if any(b < 0 for b in self.bytes_per_layer):
+            raise ConfigurationError("layer byte counts must be non-negative")
+
+    @property
+    def total(self) -> float:
+        """Total bytes across all layers."""
+        return float(sum(self.bytes_per_layer))
+
+    def as_array(self) -> np.ndarray:
+        """Return per-layer byte counts as a float array of length 4."""
+        return np.asarray(self.bytes_per_layer, dtype=float)
+
+
+@dataclass(frozen=True)
+class QualityScore:
+    """Video quality of a single decoded frame."""
+
+    ssim: float
+    psnr_db: float
+
+    def __post_init__(self) -> None:
+        if not (-1.0 <= self.ssim <= 1.0):
+            raise ConfigurationError(f"SSIM {self.ssim} outside [-1, 1]")
+
+
+@dataclass
+class FrameStats:
+    """Per-frame streaming outcome for one receiver.
+
+    Collected by the end-to-end pipeline and aggregated by the emulation
+    harness into the per-figure statistics the paper reports.
+    """
+
+    frame_index: int
+    user_id: int
+    ssim: float
+    psnr_db: float
+    bytes_received_per_layer: Tuple[float, ...] = field(
+        default_factory=lambda: (0.0,) * NUM_LAYERS
+    )
+    deadline_met: bool = True
+    decode_failures: int = 0
+
+
+def validate_seed(seed: Optional[int]) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` produces a non-deterministic generator; an int produces a
+    deterministic one.  All stochastic components in the library accept a
+    seed or generator through this helper so experiments are reproducible.
+    """
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    if isinstance(seed, np.random.Generator):
+        return seed
+    raise ConfigurationError(f"seed must be None, int or Generator, got {type(seed)!r}")

@@ -1,0 +1,28 @@
+"""Video substrate: frames, synthetic sources, layered codec, quality metrics.
+
+This package replaces two external dependencies of the paper:
+
+* the Xiph/Derf uncompressed 4K dataset (replaced by
+  :mod:`repro.video.synthetic`, procedural YUV420 sequences with a
+  high-richness / low-richness split by Y variance, Sec 2.3), and
+* the Jigsaw layered 4K codec of Baig et al. (reimplemented in
+  :mod:`repro.video.jigsaw` as the 8x8 / 4x4 / 2x2 / 1x1 block-average
+  pyramid described in Sec 2.2).
+"""
+
+from .frame import VideoFrame, blank_frame
+from .jigsaw import JigsawCodec, LayeredFrame, LayerStructure
+from .metrics import psnr, ssim
+from .synthetic import SyntheticVideo, make_standard_videos
+
+__all__ = [
+    "VideoFrame",
+    "blank_frame",
+    "JigsawCodec",
+    "LayeredFrame",
+    "LayerStructure",
+    "ssim",
+    "psnr",
+    "SyntheticVideo",
+    "make_standard_videos",
+]

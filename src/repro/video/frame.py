@@ -1,0 +1,85 @@
+"""YUV420 video-frame container.
+
+A :class:`VideoFrame` holds a single frame in planar YUV 4:2:0 layout, the
+format of the paper's uncompressed source videos.  The luma (Y) plane has the
+full ``height x width`` resolution; the two chroma planes (U, V) are
+subsampled by 2 in both dimensions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import VideoFormatError
+
+
+@dataclass(frozen=True)
+class VideoFrame:
+    """One planar YUV 4:2:0 frame.
+
+    Attributes:
+        y: Luma plane, ``uint8`` array of shape ``(height, width)``.
+        u: Chroma-U plane, ``uint8`` array of shape ``(height//2, width//2)``.
+        v: Chroma-V plane, same shape as ``u``.
+    """
+
+    y: np.ndarray
+    u: np.ndarray
+    v: np.ndarray
+
+    def __post_init__(self) -> None:
+        for name, plane in (("y", self.y), ("u", self.u), ("v", self.v)):
+            if plane.ndim != 2:
+                raise VideoFormatError(f"plane {name!r} must be 2-D, got {plane.ndim}-D")
+            if plane.dtype != np.uint8:
+                raise VideoFormatError(
+                    f"plane {name!r} must be uint8, got {plane.dtype}"
+                )
+        h, w = self.y.shape
+        if h % 2 or w % 2:
+            raise VideoFormatError(f"frame dimensions must be even, got {h}x{w}")
+        if self.u.shape != (h // 2, w // 2) or self.v.shape != (h // 2, w // 2):
+            raise VideoFormatError(
+                "chroma planes must be half-resolution of luma: "
+                f"y={self.y.shape}, u={self.u.shape}, v={self.v.shape}"
+            )
+
+    @property
+    def height(self) -> int:
+        """Luma height in pixels."""
+        return int(self.y.shape[0])
+
+    @property
+    def width(self) -> int:
+        """Luma width in pixels."""
+        return int(self.y.shape[1])
+
+    @property
+    def num_pixels(self) -> int:
+        """Number of luma pixels."""
+        return self.height * self.width
+
+    def raw_size_bytes(self) -> int:
+        """Size of the uncompressed YUV420 frame in bytes (1.5 B per pixel)."""
+        return self.y.size + self.u.size + self.v.size
+
+    def copy(self) -> "VideoFrame":
+        """Return a deep copy of this frame."""
+        return VideoFrame(self.y.copy(), self.u.copy(), self.v.copy())
+
+
+def blank_frame(height: int, width: int, luma: int = 0) -> VideoFrame:
+    """Return a uniform frame (used for the blank-frame SSIM feature, Sec 2.3).
+
+    Args:
+        height: Luma height in pixels (must be even).
+        width: Luma width in pixels (must be even).
+        luma: Constant Y value; chroma planes are set to the neutral 128.
+    """
+    if not 0 <= luma <= 255:
+        raise VideoFormatError(f"luma must be in [0, 255], got {luma}")
+    y = np.full((height, width), luma, dtype=np.uint8)
+    u = np.full((height // 2, width // 2), 128, dtype=np.uint8)
+    return VideoFrame(y, u, u.copy())

@@ -1,0 +1,205 @@
+"""Y4M (YUV4MPEG2) reader/writer — feed real uncompressed videos in.
+
+The paper's dataset is uncompressed 4K YUV from Derf's collection, normally
+distributed as ``.y4m``.  This module reads and writes that format (the
+C420/C420jpeg/C420mpeg2 layouts) so users can run the entire pipeline on the
+paper's actual videos when they have them, instead of the synthetic corpus.
+
+Only progressive 4:2:0 content is supported — exactly what the system
+streams.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from pathlib import Path
+from typing import BinaryIO, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import VideoFormatError
+from .frame import VideoFrame
+
+_MAGIC = b"YUV4MPEG2"
+_FRAME_MAGIC = b"FRAME"
+_SUPPORTED_CHROMA = {"420", "420jpeg", "420mpeg2", "420paldv"}
+
+
+def _parse_header(line: bytes) -> Tuple[int, int, Tuple[int, int]]:
+    """Parse the stream header; returns (width, height, fps fraction)."""
+    parts = line.decode("ascii", errors="replace").strip().split(" ")
+    if not parts or parts[0] != _MAGIC.decode():
+        raise VideoFormatError(f"not a YUV4MPEG2 stream: {line[:40]!r}")
+    width = height = 0
+    fps = (30, 1)
+    for token in parts[1:]:
+        if not token:
+            continue
+        tag, value = token[0], token[1:]
+        if tag == "W":
+            width = int(value)
+        elif tag == "H":
+            height = int(value)
+        elif tag == "F":
+            num, den = value.split(":")
+            fps = (int(num), int(den))
+        elif tag == "C":
+            if value not in _SUPPORTED_CHROMA:
+                raise VideoFormatError(
+                    f"unsupported chroma subsampling C{value}; only 4:2:0 "
+                    f"layouts are supported"
+                )
+        elif tag == "I" and value not in ("p", "?"):
+            raise VideoFormatError(f"interlaced content (I{value}) not supported")
+    if width <= 0 or height <= 0:
+        raise VideoFormatError("stream header missing W/H")
+    if width % 2 or height % 2:
+        raise VideoFormatError(f"odd dimensions {width}x{height}")
+    return width, height, fps
+
+
+class Y4mReader:
+    """Iterates :class:`VideoFrame` objects out of a ``.y4m`` stream.
+
+    Usable as a context manager and as an iterator::
+
+        with Y4mReader("video.y4m") as reader:
+            for frame in reader:
+                ...
+    """
+
+    def __init__(self, source: Union[str, Path, BinaryIO]):
+        if isinstance(source, (str, Path)):
+            self._stream: BinaryIO = open(source, "rb")
+            self._owns_stream = True
+        else:
+            self._stream = source
+            self._owns_stream = False
+        header = self._stream.readline()
+        self.width, self.height, self.fps = _parse_header(header)
+        self._frame_bytes = self.width * self.height * 3 // 2
+
+    def __enter__(self) -> "Y4mReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the underlying stream if this reader opened it."""
+        if self._owns_stream:
+            self._stream.close()
+
+    def __iter__(self) -> Iterator[VideoFrame]:
+        return self
+
+    def __next__(self) -> VideoFrame:
+        frame = self.read_frame()
+        if frame is None:
+            raise StopIteration
+        return frame
+
+    def read_frame(self) -> Optional[VideoFrame]:
+        """Read the next frame, or None at end of stream."""
+        marker = self._stream.readline()
+        if not marker:
+            return None
+        if not marker.startswith(_FRAME_MAGIC):
+            raise VideoFormatError(f"expected FRAME marker, got {marker[:20]!r}")
+        payload = self._stream.read(self._frame_bytes)
+        if len(payload) != self._frame_bytes:
+            raise VideoFormatError(
+                f"truncated frame: expected {self._frame_bytes} bytes, "
+                f"got {len(payload)}"
+            )
+        y_size = self.width * self.height
+        c_size = y_size // 4
+        data = np.frombuffer(payload, dtype=np.uint8)
+        y = data[:y_size].reshape(self.height, self.width)
+        u = data[y_size : y_size + c_size].reshape(self.height // 2, self.width // 2)
+        v = data[y_size + c_size :].reshape(self.height // 2, self.width // 2)
+        return VideoFrame(y.copy(), u.copy(), v.copy())
+
+    def read_all(self, limit: Optional[int] = None) -> List[VideoFrame]:
+        """Read up to ``limit`` frames (all when None)."""
+        frames: List[VideoFrame] = []
+        while limit is None or len(frames) < limit:
+            frame = self.read_frame()
+            if frame is None:
+                break
+            frames.append(frame)
+        return frames
+
+
+class Y4mWriter:
+    """Writes :class:`VideoFrame` objects as a ``.y4m`` stream."""
+
+    def __init__(
+        self,
+        target: Union[str, Path, BinaryIO],
+        width: int,
+        height: int,
+        fps: Tuple[int, int] = (30, 1),
+    ):
+        if width % 2 or height % 2:
+            raise VideoFormatError(f"odd dimensions {width}x{height}")
+        if isinstance(target, (str, Path)):
+            self._stream: BinaryIO = open(target, "wb")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self.width = width
+        self.height = height
+        header = (
+            f"YUV4MPEG2 W{width} H{height} F{fps[0]}:{fps[1]} Ip A1:1 C420\n"
+        )
+        self._stream.write(header.encode("ascii"))
+        self.frames_written = 0
+
+    def __enter__(self) -> "Y4mWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Flush and close the stream if this writer opened it."""
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+    def write_frame(self, frame: VideoFrame) -> None:
+        """Append one frame."""
+        if (frame.height, frame.width) != (self.height, self.width):
+            raise VideoFormatError(
+                f"frame is {frame.height}x{frame.width}, stream is "
+                f"{self.height}x{self.width}"
+            )
+        self._stream.write(b"FRAME\n")
+        self._stream.write(frame.y.tobytes())
+        self._stream.write(frame.u.tobytes())
+        self._stream.write(frame.v.tobytes())
+        self.frames_written += 1
+
+
+def load_y4m(
+    path: Union[str, Path], limit: Optional[int] = None
+) -> List[VideoFrame]:
+    """Convenience: read up to ``limit`` frames from a file."""
+    with Y4mReader(path) as reader:
+        return reader.read_all(limit=limit)
+
+
+def save_y4m(
+    path: Union[str, Path],
+    frames: List[VideoFrame],
+    fps: Tuple[int, int] = (30, 1),
+) -> None:
+    """Convenience: write a frame list to a file."""
+    if not frames:
+        raise VideoFormatError("no frames to write")
+    with Y4mWriter(path, frames[0].width, frames[0].height, fps) as writer:
+        for frame in frames:
+            writer.write_frame(frame)

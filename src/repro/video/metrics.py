@@ -1,0 +1,97 @@
+"""Video quality metrics: SSIM and PSNR, implemented from scratch.
+
+The paper computes SSIM with FFmpeg; we implement the original
+Wang-Bovik-Sheikh-Simoncelli SSIM (IEEE TIP 2004) with the standard 11x11
+Gaussian window (sigma = 1.5) on the luma plane.  PSNR is the usual
+``10 * log10(MAX^2 / MSE)`` on luma.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+from scipy.ndimage import gaussian_filter
+
+from ..errors import VideoFormatError
+from .frame import VideoFrame
+
+#: SSIM stabilisation constants for 8-bit content (K1=0.01, K2=0.03, L=255).
+_C1 = (0.01 * 255.0) ** 2
+_C2 = (0.03 * 255.0) ** 2
+
+#: Standard deviation of the SSIM Gaussian window.
+_SSIM_SIGMA = 1.5
+
+#: Cap applied to PSNR for identical images (MSE == 0), in dB.
+PSNR_CAP_DB = 100.0
+
+_PlaneOrFrame = Union[np.ndarray, VideoFrame]
+
+
+def _as_luma(image: _PlaneOrFrame) -> np.ndarray:
+    """Extract a float64 luma plane from a frame or a raw 2-D array."""
+    if isinstance(image, VideoFrame):
+        plane = image.y
+    else:
+        plane = np.asarray(image)
+        if plane.ndim != 2:
+            raise VideoFormatError(f"expected a 2-D plane, got {plane.ndim}-D")
+    return plane.astype(np.float64)
+
+
+def ssim(reference: _PlaneOrFrame, distorted: _PlaneOrFrame) -> float:
+    """Mean SSIM between two frames (luma plane).
+
+    Args:
+        reference: Ground-truth frame or Y plane.
+        distorted: Reconstructed frame or Y plane, same shape.
+
+    Returns:
+        Mean SSIM over the frame, in ``[-1, 1]`` (1 means identical).
+    """
+    ref = _as_luma(reference)
+    dist = _as_luma(distorted)
+    if ref.shape != dist.shape:
+        raise VideoFormatError(f"shape mismatch: {ref.shape} vs {dist.shape}")
+
+    mu_x = gaussian_filter(ref, _SSIM_SIGMA)
+    mu_y = gaussian_filter(dist, _SSIM_SIGMA)
+    mu_x2 = mu_x * mu_x
+    mu_y2 = mu_y * mu_y
+    mu_xy = mu_x * mu_y
+
+    sigma_x2 = gaussian_filter(ref * ref, _SSIM_SIGMA) - mu_x2
+    sigma_y2 = gaussian_filter(dist * dist, _SSIM_SIGMA) - mu_y2
+    sigma_xy = gaussian_filter(ref * dist, _SSIM_SIGMA) - mu_xy
+
+    numerator = (2.0 * mu_xy + _C1) * (2.0 * sigma_xy + _C2)
+    denominator = (mu_x2 + mu_y2 + _C1) * (sigma_x2 + sigma_y2 + _C2)
+    return float(np.mean(numerator / denominator))
+
+
+def psnr(reference: _PlaneOrFrame, distorted: _PlaneOrFrame) -> float:
+    """Peak signal-to-noise ratio between two frames (luma plane), in dB.
+
+    Identical frames return :data:`PSNR_CAP_DB` rather than infinity so the
+    value stays usable in averages.
+    """
+    ref = _as_luma(reference)
+    dist = _as_luma(distorted)
+    if ref.shape != dist.shape:
+        raise VideoFormatError(f"shape mismatch: {ref.shape} vs {dist.shape}")
+    mse = float(np.mean((ref - dist) ** 2))
+    if mse <= 0.0:
+        return PSNR_CAP_DB
+    return float(min(10.0 * np.log10(255.0**2 / mse), PSNR_CAP_DB))
+
+
+def ssim_to_psnr_rough(ssim_value: float) -> float:
+    """Rough monotone SSIM -> PSNR mapping used only for sanity checks.
+
+    Empirical fit over natural video content; not used in any benchmark
+    result, only to validate that jointly reported SSIM/PSNR pairs are
+    plausible.
+    """
+    clipped = float(np.clip(ssim_value, 1e-6, 1.0 - 1e-9))
+    return float(10.0 * np.log10(1.0 / (1.0 - clipped)) + 13.0)

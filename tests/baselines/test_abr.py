@@ -1,0 +1,76 @@
+"""Tests for the ABR rate-quality, freeze and ladder models."""
+
+import pytest
+
+from repro.baselines.abr import (
+    DASH_4K_LADDER_MBPS,
+    BitrateLadder,
+    FreezeModel,
+    RateQualityModel,
+)
+from repro.errors import ConfigurationError
+from repro.types import Richness
+
+
+class TestRateQuality:
+    def _model(self, richness=Richness.HIGH):
+        return RateQualityModel(richness=richness, pixels_per_frame=3840 * 2160)
+
+    def test_monotone_in_bitrate(self):
+        model = self._model()
+        values = [model.ssim_at(b) for b in (10, 40, 100, 400)]
+        assert values == sorted(values)
+
+    def test_bounded(self):
+        model = self._model()
+        assert 0.0 <= model.ssim_at(1.0) <= 1.0
+        assert model.ssim_at(0.0) == 0.0
+
+    def test_100mbps_4k_is_about_095(self):
+        assert self._model().ssim_at(100.0) == pytest.approx(0.954, abs=0.01)
+
+    def test_lr_scores_higher_at_same_rate(self):
+        hr = self._model(Richness.HIGH)
+        lr = self._model(Richness.LOW)
+        assert lr.ssim_at(40.0) > hr.ssim_at(40.0)
+
+    def test_psnr_monotone(self):
+        model = self._model()
+        assert model.psnr_at(100.0) > model.psnr_at(10.0)
+
+
+class TestFreezeModel:
+    def test_decays_with_gap(self, hr_video):
+        freeze = FreezeModel.from_video(hr_video, max_gap=8)
+        assert freeze.ssim_at_gap(1) > freeze.ssim_at_gap(8)
+
+    def test_zero_gap_is_perfect(self, hr_video):
+        freeze = FreezeModel.from_video(hr_video, max_gap=8)
+        assert freeze.ssim_at_gap(0) == 1.0
+
+    def test_too_short_video_rejected(self):
+        from repro.video.synthetic import SyntheticVideo
+
+        tiny = SyntheticVideo("t", Richness.LOW, 144, 256, num_frames=1, seed=0)
+        with pytest.raises(ConfigurationError):
+            FreezeModel.from_video(tiny)
+
+
+class TestBitrateLadder:
+    def test_default_is_dash_4k_ladder(self):
+        ladder = BitrateLadder()
+        assert tuple(ladder.rates_mbps) == DASH_4K_LADDER_MBPS
+
+    def test_rate_scale_divides_rungs(self):
+        ladder = BitrateLadder(rate_scale=10.0)
+        assert ladder.rates_mbps[0] == pytest.approx(1.0)
+
+    def test_highest_sustainable(self):
+        ladder = BitrateLadder()
+        assert ladder.highest_sustainable(70.0) == 60.0
+        assert ladder.highest_sustainable(5.0) == 10.0  # floor rung
+        assert ladder.highest_sustainable(1e9) == 400.0
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BitrateLadder(rates_mbps=[])

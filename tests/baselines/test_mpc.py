@@ -1,0 +1,116 @@
+"""Tests for Robust/Fast MPC and the ABR session simulator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.abr import BitrateLadder, FreezeModel, RateQualityModel
+from repro.baselines.mpc import (
+    FastMpc,
+    RobustMpc,
+    simulate_abr_session,
+)
+from repro.errors import ConfigurationError
+from repro.types import Richness
+
+
+@pytest.fixture()
+def quality():
+    # Controller-only tests use the full-4K pixel count with unscaled rates.
+    return RateQualityModel(richness=Richness.HIGH, pixels_per_frame=3840 * 2160)
+
+
+@pytest.fixture()
+def quality_scaled():
+    # Session tests run at the emulated resolution with scaled link rates;
+    # bits-per-pixel (and thus quality) is invariant to the joint scaling.
+    from tests.conftest import TEST_HEIGHT, TEST_WIDTH
+
+    return RateQualityModel(
+        richness=Richness.HIGH, pixels_per_frame=TEST_HEIGHT * TEST_WIDTH
+    )
+
+
+@pytest.fixture()
+def ladder():
+    return BitrateLadder()
+
+
+class TestControllers:
+    def test_high_throughput_picks_top_rung(self, ladder, quality):
+        controller = FastMpc(ladder, quality)
+        for _ in range(5):
+            controller.observe_throughput(1000.0)
+        assert controller.choose_bitrate(buffer_s=0.5) == ladder.rates_mbps[-1]
+
+    def test_low_throughput_picks_low_rung(self, ladder, quality):
+        controller = FastMpc(ladder, quality)
+        for _ in range(5):
+            controller.observe_throughput(12.0)
+        assert controller.choose_bitrate(buffer_s=0.0) <= 16.0
+
+    def test_robust_never_exceeds_fast(self, ladder, quality):
+        """The robustness discount makes Robust MPC at most as aggressive."""
+        robust = RobustMpc(ladder, quality)
+        fast = FastMpc(ladder, quality)
+        samples = [100.0, 30.0, 120.0, 20.0, 90.0]
+        for controller in (robust, fast):
+            for s in samples:
+                controller.choose_bitrate(0.0)
+                controller.observe_throughput(s)
+        assert robust.predict_throughput() <= fast.predict_throughput()
+
+    def test_cold_start_is_conservative(self, ladder, quality):
+        controller = RobustMpc(ladder, quality)
+        assert controller.choose_bitrate(0.0) <= ladder.rates_mbps[1]
+
+    def test_harmonic_mean_penalises_dips(self, ladder, quality):
+        controller = FastMpc(ladder, quality)
+        for s in (100.0, 100.0, 5.0):
+            controller.observe_throughput(s)
+        assert controller.predict_throughput() < np.mean([100, 100, 5])
+
+
+class TestAbrSession:
+    def test_session_produces_all_frames(
+        self, scenario, static_trace_2users, quality_scaled, hr_video
+    ):
+        freeze = FreezeModel.from_video(hr_video, max_gap=8)
+        outcome = simulate_abr_session(
+            RobustMpc, static_trace_2users, scenario.channel_model,
+            quality_scaled, freeze, num_frames=15, rate_scale=56.25,
+        )
+        assert len(outcome.stats) == 15 * 2
+        assert 0.0 <= outcome.mean_ssim <= 1.0
+
+    def test_static_close_range_quality_near_ladder_top(
+        self, scenario, static_trace_2users, quality_scaled, hr_video
+    ):
+        freeze = FreezeModel.from_video(hr_video, max_gap=8)
+        outcome = simulate_abr_session(
+            FastMpc, static_trace_2users, scenario.channel_model,
+            quality_scaled, freeze, num_frames=30, rate_scale=56.25,
+        )
+        # After warm-up the controller should reach a high rung.
+        tail = [s.ssim for s in outcome.stats if s.frame_index >= 15]
+        assert np.mean(tail) > 0.9
+
+    def test_zero_frames_rejected(
+        self, scenario, static_trace_2users, quality_scaled, hr_video
+    ):
+        freeze = FreezeModel.from_video(hr_video, max_gap=8)
+        with pytest.raises(ConfigurationError):
+            simulate_abr_session(
+                FastMpc, static_trace_2users, scenario.channel_model,
+                quality_scaled, freeze, num_frames=0,
+            )
+
+    def test_series_per_user(
+        self, scenario, static_trace_2users, quality_scaled, hr_video
+    ):
+        freeze = FreezeModel.from_video(hr_video, max_gap=8)
+        outcome = simulate_abr_session(
+            RobustMpc, static_trace_2users, scenario.channel_model,
+            quality_scaled, freeze, num_frames=10, rate_scale=56.25,
+        )
+        assert len(outcome.ssim_series(0)) == 10
+        assert len(outcome.ssim_series(1)) == 10

@@ -1,0 +1,112 @@
+"""Tests for multicast beamforming (SVD max-sum + max-min refinement)."""
+
+import numpy as np
+import pytest
+
+from repro.beamforming.multicast import (
+    max_min_gain,
+    max_min_multicast_beam,
+    per_user_gains,
+    svd_multicast_beam,
+)
+from repro.errors import BeamformingError
+from repro.phy.antenna import PhasedArray
+
+
+@pytest.fixture(scope="module")
+def array():
+    return PhasedArray(32, 2)
+
+
+def _steering_channels(array, angles, amplitude=1e-4):
+    return [amplitude * array.steering_vector(a) for a in angles]
+
+
+class TestSvdBeam:
+    def test_single_user_matches_conjugate(self, array, rng):
+        h = (rng.normal(size=32) + 1j * rng.normal(size=32)) * 1e-4
+        svd_gain = array.beam_gain(svd_multicast_beam(array, [h]), h)
+        conj_gain = array.beam_gain(array.conjugate_beam(h), h)
+        assert svd_gain == pytest.approx(conj_gain, rel=0.25)
+
+    def test_two_user_split(self, array):
+        channels = _steering_channels(array, [0.2, -0.3])
+        beam = svd_multicast_beam(array, channels)
+        gains = per_user_gains(beam, channels)
+        single = float(np.linalg.norm(channels[0]) ** 2)
+        # Each user should get a meaningful share (> 1/8 of matched gain).
+        assert min(gains) > single / 8
+
+    def test_empty_group_rejected(self, array):
+        with pytest.raises(BeamformingError):
+            svd_multicast_beam(array, [])
+
+    def test_zero_channel_rejected(self, array):
+        with pytest.raises(BeamformingError):
+            svd_multicast_beam(array, [np.zeros(32, dtype=complex)])
+
+
+class TestMaxMinBeam:
+    def test_beats_or_matches_plain_svd_min_gain(self, array, rng):
+        wins = 0
+        for trial in range(8):
+            channels = [
+                (rng.normal(size=32) + 1j * rng.normal(size=32))
+                * 10 ** rng.uniform(-5, -4)
+                for _ in range(3)
+            ]
+            refined = max_min_gain(max_min_multicast_beam(array, channels), channels)
+            plain = max_min_gain(svd_multicast_beam(array, channels), channels)
+            if refined >= plain * 0.99:
+                wins += 1
+        assert wins >= 6  # quantisation can occasionally reorder
+
+    def test_balances_unequal_users(self, array):
+        """A near user must not starve a far user."""
+        channels = _steering_channels(array, [0.3, -0.2])
+        channels[0] = channels[0] * 10  # user 0 is 20 dB stronger
+        beam = max_min_multicast_beam(array, channels)
+        gains = per_user_gains(beam, channels)
+        weak_matched = float(np.linalg.norm(channels[1]) ** 2)
+        assert gains[1] > weak_matched / 10
+
+    def test_single_user_fast_path(self, array, rng):
+        h = (rng.normal(size=32) + 1j * rng.normal(size=32)) * 1e-4
+        beam = max_min_multicast_beam(array, [h])
+        np.testing.assert_allclose(beam, array.conjugate_beam(h))
+
+    def test_output_is_hardware_realisable(self, array, rng):
+        channels = [
+            (rng.normal(size=32) + 1j * rng.normal(size=32)) for _ in range(4)
+        ]
+        beam = max_min_multicast_beam(array, channels)
+        assert np.linalg.norm(beam) == pytest.approx(1.0)
+        magnitudes = np.abs(beam)
+        np.testing.assert_allclose(magnitudes, magnitudes[0], rtol=1e-9)
+
+    def test_more_users_lower_min_gain(self, array):
+        two = _steering_channels(array, [0.1, -0.1])
+        six = _steering_channels(array, np.linspace(-0.5, 0.5, 6))
+        gain_two = max_min_gain(max_min_multicast_beam(array, two), two)
+        gain_six = max_min_gain(max_min_multicast_beam(array, six), six)
+        assert gain_six < gain_two
+
+
+class TestHelpers:
+    def test_per_user_gains_matches_beam_gain(self, array, rng):
+        channels = [
+            (rng.normal(size=32) + 1j * rng.normal(size=32)) for _ in range(2)
+        ]
+        beam = max_min_multicast_beam(array, channels)
+        gains = per_user_gains(beam, channels)
+        for gain, channel in zip(gains, channels):
+            assert gain == pytest.approx(array.beam_gain(beam, channel))
+
+    def test_max_min_is_minimum(self, array, rng):
+        channels = [
+            (rng.normal(size=32) + 1j * rng.normal(size=32)) for _ in range(3)
+        ]
+        beam = max_min_multicast_beam(array, channels)
+        assert max_min_gain(beam, channels) == pytest.approx(
+            min(per_user_gains(beam, channels))
+        )

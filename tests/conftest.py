@@ -1,0 +1,91 @@
+"""Shared fixtures: small videos, codec, probes, a tiny trained DNN.
+
+Heavy objects are session-scoped; every test resolution is deliberately
+small (the library is resolution-agnostic) so the whole suite stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.emulation import EmulationScenario
+from repro.phy.csi import CsiTrace
+from repro.quality import DNNQualityModel
+from repro.types import Richness
+from repro.video import JigsawCodec, SyntheticVideo
+from repro.video.dataset import FrameQualityProbe, generate_dataset
+
+TEST_HEIGHT = 144
+TEST_WIDTH = 256
+
+
+@pytest.fixture(scope="session")
+def hr_video() -> SyntheticVideo:
+    """A small high-richness test video."""
+    return SyntheticVideo(
+        name="hr_test", richness=Richness.HIGH,
+        height=TEST_HEIGHT, width=TEST_WIDTH, num_frames=10, seed=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def lr_video() -> SyntheticVideo:
+    """A small low-richness test video."""
+    return SyntheticVideo(
+        name="lr_test", richness=Richness.LOW,
+        height=TEST_HEIGHT, width=TEST_WIDTH, num_frames=10, seed=4,
+    )
+
+
+@pytest.fixture(scope="session")
+def codec() -> JigsawCodec:
+    """Codec matching the test resolution."""
+    return JigsawCodec(TEST_HEIGHT, TEST_WIDTH)
+
+
+@pytest.fixture(scope="session")
+def hr_probe(codec, hr_video) -> FrameQualityProbe:
+    """Encoded probe of the first HR frame."""
+    return FrameQualityProbe.from_frame(codec, hr_video.frame(0))
+
+
+@pytest.fixture(scope="session")
+def lr_probe(codec, lr_video) -> FrameQualityProbe:
+    """Encoded probe of the first LR frame."""
+    return FrameQualityProbe.from_frame(codec, lr_video.frame(0))
+
+
+@pytest.fixture(scope="session")
+def small_dataset(hr_video, lr_video):
+    """A small quality dataset over both test videos."""
+    return generate_dataset(
+        [hr_video, lr_video], frames_per_video=3, samples_per_frame=24, seed=0
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_dnn(small_dataset) -> DNNQualityModel:
+    """A quickly trained DNN — accurate enough for optimizer tests."""
+    model = DNNQualityModel(epochs=300, batch_size=32, seed=0)
+    model.fit(small_dataset.features, small_dataset.ssim)
+    return model
+
+
+@pytest.fixture(scope="session")
+def scenario() -> EmulationScenario:
+    """A shared physical world."""
+    return EmulationScenario(seed=0)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def static_trace_2users(scenario) -> CsiTrace:
+    """A 1-second static trace with two users at 3 m."""
+    positions = scenario.place_arc(2, 3.0, 60, seed=5)
+    return scenario.static_trace(positions, duration_s=0.5, seed=6)

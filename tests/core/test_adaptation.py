@@ -1,0 +1,87 @@
+"""Tests for the adaptation policies and their ablation flags."""
+
+import numpy as np
+import pytest
+
+from repro.core import MulticastStreamer, SystemConfig
+from repro.types import AdaptationPolicy
+
+RES = dict(height=144, width=256)
+
+
+@pytest.fixture(scope="module")
+def mobile_trace(request):
+    scenario = request.getfixturevalue("scenario")
+    return scenario.mobile_receiver_trace(
+        2, moving_users=[0], duration_s=1.5, rss_regime="high", seed=41
+    )
+
+
+def _run(request, trace, **overrides):
+    scenario = request.getfixturevalue("scenario")
+    dnn = request.getfixturevalue("tiny_dnn")
+    probes = [request.getfixturevalue("hr_probe")]
+    config = SystemConfig(**RES, **overrides)
+    streamer = MulticastStreamer(config, dnn, probes, scenario.channel_model, seed=43)
+    return streamer.stream_trace(trace, num_frames=20)
+
+
+class TestAdaptationPolicies:
+    def test_realtime_beats_fully_frozen(self, request, mobile_trace):
+        realtime = _run(request, mobile_trace,
+                        adaptation=AdaptationPolicy.REALTIME_UPDATE)
+        frozen = _run(request, mobile_trace,
+                      adaptation=AdaptationPolicy.NO_UPDATE,
+                      no_update_beam_tracking=False)
+        assert realtime.mean_ssim > frozen.mean_ssim
+
+    def test_sector_tracking_helps_no_update(self, request, mobile_trace):
+        """The firmware-tracking variant must be at least as good as the
+        fully frozen one under receiver motion."""
+        tracked = _run(request, mobile_trace,
+                       adaptation=AdaptationPolicy.NO_UPDATE,
+                       no_update_beam_tracking=True)
+        frozen = _run(request, mobile_trace,
+                      adaptation=AdaptationPolicy.NO_UPDATE,
+                      no_update_beam_tracking=False)
+        assert tracked.mean_ssim >= frozen.mean_ssim - 0.02
+
+    def test_no_update_plans_exactly_once(self, request, mobile_trace):
+        """Under NO_UPDATE without tracking, the allocation object must stay
+        identical across the whole session."""
+        scenario = request.getfixturevalue("scenario")
+        dnn = request.getfixturevalue("tiny_dnn")
+        probes = [request.getfixturevalue("hr_probe")]
+        config = SystemConfig(**RES, adaptation=AdaptationPolicy.NO_UPDATE,
+                              no_update_beam_tracking=False)
+        streamer = MulticastStreamer(config, dnn, probes,
+                                     scenario.channel_model, seed=44)
+        calls = []
+        original = streamer._plan
+
+        def counting_plan(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        streamer._plan = counting_plan
+        streamer.stream_trace(mobile_trace, num_frames=12)
+        assert len(calls) == 1
+
+    def test_realtime_replans_every_beacon(self, request, mobile_trace):
+        scenario = request.getfixturevalue("scenario")
+        dnn = request.getfixturevalue("tiny_dnn")
+        probes = [request.getfixturevalue("hr_probe")]
+        config = SystemConfig(**RES)
+        streamer = MulticastStreamer(config, dnn, probes,
+                                     scenario.channel_model, seed=45)
+        calls = []
+        original = streamer._plan
+
+        def counting_plan(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        streamer._plan = counting_plan
+        streamer.stream_trace(mobile_trace, num_frames=12)
+        # 12 frames at 30 FPS = 0.4 s -> one plan per 100 ms beacon.
+        assert len(calls) == 4

@@ -1,0 +1,90 @@
+"""Failure-injection tests: dead links, blocked users, degenerate traces."""
+
+import numpy as np
+import pytest
+
+from repro.core import MulticastStreamer, SystemConfig
+from repro.phy.channel import ChannelState
+from repro.phy.csi import CsiSnapshot, CsiTrace
+from repro.types import Position
+
+RES = dict(height=144, width=256)
+
+
+def _dead_trace(scenario, ticks=4, attenuation_db=60.0):
+    """A trace whose channels are attenuated into uselessness."""
+    rng = np.random.default_rng(51)
+    positions = {0: Position(16.0, 2.0), 1: Position(17.0, 10.0)}
+    trace = CsiTrace()
+    scale = 10 ** (-attenuation_db / 20)
+    for tick in range(ticks):
+        t = tick * 0.1
+        state = scenario.channel_model.snapshot(positions, rng, time_s=t)
+        dead = ChannelState(
+            channels={u: h * scale for u, h in state.channels.items()},
+            positions=state.positions,
+            time_s=t,
+        )
+        trace.append(CsiSnapshot(t, dead, dead))
+    return trace
+
+
+class TestDeadChannel:
+    def test_streamer_survives_unreachable_users(self, scenario, tiny_dnn, hr_probe):
+        """With no decodable MCS anywhere, the system must degrade to blank
+        frames without crashing (graceful, not fatal)."""
+        trace = _dead_trace(scenario)
+        config = SystemConfig(**RES)
+        streamer = MulticastStreamer(
+            config, tiny_dnn, [hr_probe], scenario.channel_model, seed=52
+        )
+        outcome = streamer.stream_trace(trace, num_frames=4)
+        assert len(outcome.stats) == 8
+        for stat in outcome.stats:
+            assert 0.0 <= stat.ssim <= 1.0
+
+    def test_one_blocked_user_does_not_starve_others(
+        self, scenario, tiny_dnn, hr_probe
+    ):
+        """A single dead user must not drag every group to rate zero."""
+        rng = np.random.default_rng(53)
+        positions = {0: Position(3.0, 6.0), 1: Position(3.5, 7.0)}
+        trace = CsiTrace()
+        for tick in range(4):
+            t = tick * 0.1
+            state = scenario.channel_model.snapshot(positions, rng, time_s=t)
+            state.channels[1] = state.channels[1] * 10 ** (-60 / 20)
+            trace.append(CsiSnapshot(t, state, state))
+        config = SystemConfig(**RES)
+        streamer = MulticastStreamer(
+            config, tiny_dnn, [hr_probe], scenario.channel_model, seed=54
+        )
+        outcome = streamer.stream_trace(trace, num_frames=4)
+        per_user = outcome.per_user_ssim()
+        assert per_user[0] > 0.8  # healthy user keeps streaming
+        assert per_user[1] < per_user[0]
+
+
+class TestDegenerateTraces:
+    def test_single_snapshot_trace(self, scenario, tiny_dnn, hr_probe):
+        positions = [Position(3.0, 6.0)]
+        trace = scenario.static_trace(positions, duration_s=0.1, seed=55)
+        assert len(trace) == 1
+        config = SystemConfig(**RES)
+        streamer = MulticastStreamer(
+            config, tiny_dnn, [hr_probe], scenario.channel_model, seed=56
+        )
+        outcome = streamer.stream_trace(trace, num_frames=3)
+        assert len(outcome.stats) == 3
+
+    def test_trace_shorter_than_stream(self, scenario, tiny_dnn, hr_probe):
+        """Streaming past the end of the trace holds the last snapshot."""
+        positions = [Position(3.0, 6.0)]
+        trace = scenario.static_trace(positions, duration_s=0.2, seed=57)
+        config = SystemConfig(**RES)
+        streamer = MulticastStreamer(
+            config, tiny_dnn, [hr_probe], scenario.channel_model, seed=58
+        )
+        outcome = streamer.stream_trace(trace, num_frames=12)  # 0.4 s worth
+        assert len(outcome.stats) == 12
+        assert outcome.mean_ssim > 0.5

@@ -1,0 +1,113 @@
+"""Tests for the end-to-end multicast streamer."""
+
+import numpy as np
+import pytest
+
+from repro.core import MulticastStreamer, SystemConfig
+from repro.errors import ConfigurationError
+from repro.types import (
+    AdaptationPolicy,
+    BeamformingScheme,
+    SchedulerKind,
+)
+
+RES = dict(height=144, width=256)
+
+
+@pytest.fixture(scope="module")
+def streamer_parts(request):
+    scenario = request.getfixturevalue("scenario")
+    tiny_dnn = request.getfixturevalue("tiny_dnn")
+    hr_probe = request.getfixturevalue("hr_probe")
+    lr_probe = request.getfixturevalue("lr_probe")
+    trace = request.getfixturevalue("static_trace_2users")
+    return scenario, tiny_dnn, [hr_probe, lr_probe], trace
+
+
+def _stream(parts, num_frames=5, seed=0, **config_overrides):
+    scenario, dnn, probes, trace = parts
+    config = SystemConfig(**RES, **config_overrides)
+    streamer = MulticastStreamer(config, dnn, probes, scenario.channel_model, seed=seed)
+    return streamer.stream_trace(trace, num_frames=num_frames)
+
+
+class TestStreaming:
+    def test_produces_stats_for_all_frames_and_users(self, streamer_parts):
+        outcome = _stream(streamer_parts, num_frames=5)
+        assert len(outcome.stats) == 5 * 2
+        assert {s.user_id for s in outcome.stats} == {0, 1}
+
+    def test_quality_is_high_at_close_range(self, streamer_parts):
+        outcome = _stream(streamer_parts, num_frames=6)
+        assert outcome.mean_ssim > 0.85
+        assert outcome.mean_psnr_db > 30
+
+    def test_deterministic_given_seed(self, streamer_parts):
+        a = _stream(streamer_parts, num_frames=4, seed=3)
+        b = _stream(streamer_parts, num_frames=4, seed=3)
+        assert [s.ssim for s in a.stats] == [s.ssim for s in b.stats]
+
+    def test_per_user_and_series_accessors(self, streamer_parts):
+        outcome = _stream(streamer_parts, num_frames=4)
+        per_user = outcome.per_user_ssim()
+        assert set(per_user) == {0, 1}
+        series = outcome.ssim_series(0)
+        assert len(series) == 4
+
+    def test_round_robin_scheduler_runs(self, streamer_parts):
+        outcome = _stream(
+            streamer_parts, num_frames=4, scheduler=SchedulerKind.ROUND_ROBIN
+        )
+        assert outcome.mean_ssim > 0.5
+
+    def test_no_update_policy_runs(self, streamer_parts):
+        outcome = _stream(
+            streamer_parts, num_frames=4, adaptation=AdaptationPolicy.NO_UPDATE
+        )
+        assert outcome.mean_ssim > 0.5
+
+    def test_all_beamforming_schemes_run(self, streamer_parts):
+        for scheme in BeamformingScheme:
+            outcome = _stream(streamer_parts, num_frames=2, scheme=scheme)
+            assert np.isfinite(outcome.mean_ssim)
+
+    def test_source_coding_off_runs(self, streamer_parts):
+        outcome = _stream(streamer_parts, num_frames=3, source_coding=False)
+        assert np.isfinite(outcome.mean_ssim)
+
+    def test_rate_control_off_runs(self, streamer_parts):
+        outcome = _stream(streamer_parts, num_frames=3, rate_control=False)
+        assert np.isfinite(outcome.mean_ssim)
+
+    def test_bytes_received_recorded(self, streamer_parts):
+        outcome = _stream(streamer_parts, num_frames=3)
+        for stat in outcome.stats:
+            assert sum(stat.bytes_received_per_layer) > 0
+
+
+class TestValidation:
+    def test_resolution_mismatch_rejected(self, streamer_parts):
+        scenario, dnn, probes, _ = streamer_parts
+        config = SystemConfig(height=288, width=512)
+        with pytest.raises(ConfigurationError):
+            MulticastStreamer(config, dnn, probes, scenario.channel_model)
+
+    def test_empty_probes_rejected(self, streamer_parts):
+        scenario, dnn, _, _ = streamer_parts
+        with pytest.raises(ConfigurationError):
+            MulticastStreamer(SystemConfig(**RES), dnn, [], scenario.channel_model)
+
+    def test_zero_frames_rejected(self, streamer_parts):
+        scenario, dnn, probes, trace = streamer_parts
+        streamer = MulticastStreamer(
+            SystemConfig(**RES), dnn, probes, scenario.channel_model
+        )
+        with pytest.raises(ConfigurationError):
+            streamer.stream_trace(trace, num_frames=0)
+
+    def test_empty_outcome_stats(self):
+        from repro.core.streamer import StreamOutcome
+
+        outcome = StreamOutcome()
+        assert np.isnan(outcome.mean_ssim)
+        assert np.isnan(outcome.mean_psnr_db)

@@ -1,0 +1,82 @@
+"""Tests for trace analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.emulation.analysis import (
+    classify_regime,
+    summarize_trace,
+    trace_rss_series,
+)
+from repro.errors import EmulationError
+from repro.phy.csi import CsiTrace
+
+
+class TestRssSeries:
+    def test_series_per_user_per_beacon(self, scenario):
+        positions = scenario.place_arc(2, 4.0, 30, seed=81)
+        trace = scenario.static_trace(positions, duration_s=0.5, seed=82)
+        series = trace_rss_series(trace, scenario.channel_model)
+        assert set(series) == {0, 1}
+        assert all(len(v) == len(trace) for v in series.values())
+
+    def test_close_users_have_higher_rss(self, scenario):
+        near = scenario.static_trace(
+            scenario.place_arc(1, 3.0, 0, seed=83), duration_s=0.3, seed=84
+        )
+        far = scenario.static_trace(
+            scenario.place_arc(1, 15.0, 0, seed=83), duration_s=0.3, seed=84
+        )
+        rss_near = trace_rss_series(near, scenario.channel_model)[0].mean()
+        rss_far = trace_rss_series(far, scenario.channel_model)[0].mean()
+        assert rss_near > rss_far
+
+    def test_estimates_option(self, scenario):
+        trace = scenario.static_trace(
+            scenario.place_arc(1, 4.0, 0, seed=85), duration_s=0.3, seed=86
+        )
+        truth = trace_rss_series(trace, scenario.channel_model)[0]
+        estimated = trace_rss_series(
+            trace, scenario.channel_model, use_estimates=True
+        )[0]
+        assert not np.allclose(truth, estimated)
+
+    def test_empty_trace_rejected(self, scenario):
+        with pytest.raises(EmulationError):
+            trace_rss_series(CsiTrace(), scenario.channel_model)
+
+
+class TestRegimeClassification:
+    def test_near_trace_is_high(self, scenario):
+        trace = scenario.static_trace(
+            scenario.place_arc(2, 3.0, 30, seed=87), duration_s=0.3, seed=88
+        )
+        assert classify_regime(trace, scenario.channel_model) == "high"
+
+    def test_generated_regimes_classify_correctly(self, scenario):
+        high = scenario.mobile_receiver_trace(
+            1, [0], duration_s=1.0, rss_regime="high", seed=89
+        )
+        assert classify_regime(high, scenario.channel_model) == "high"
+
+
+class TestSummary:
+    def test_summary_fields(self, scenario):
+        trace = scenario.static_trace(
+            scenario.place_arc(3, 6.0, 60, seed=90), duration_s=0.5, seed=91
+        )
+        summary = summarize_trace(trace, scenario.channel_model)
+        assert summary.num_users == 3
+        assert summary.duration_s == pytest.approx(0.5)
+        assert summary.p10_rss_dbm <= summary.median_rss_dbm
+        assert 0.0 <= summary.outage_fraction <= 1.0
+        assert summary.median_best_rate_mbps >= 0
+        assert "RSS" in summary.row()
+
+    def test_close_range_has_no_outage(self, scenario):
+        trace = scenario.static_trace(
+            scenario.place_arc(1, 3.0, 0, seed=92), duration_s=0.3, seed=93
+        )
+        summary = summarize_trace(trace, scenario.channel_model)
+        assert summary.outage_fraction == 0.0
+        assert summary.median_best_rate_mbps >= 1850

@@ -1,0 +1,76 @@
+"""Tests for experiment persistence and report rendering."""
+
+import pytest
+
+from repro.emulation.reporting import (
+    ExperimentRecord,
+    load_records,
+    record_from_runner_output,
+    render_report,
+    save_records,
+)
+from repro.errors import EmulationError
+
+
+@pytest.fixture()
+def record():
+    return record_from_runner_output(
+        "fig5",
+        "beamforming, 2 users, 3 m",
+        {
+            "optimized_multicast": {"ssim": [0.95, 0.96], "psnr": [40.1, 41.2]},
+            "predefined_unicast": {"ssim": [0.91, 0.93], "psnr": [36.0, 37.5]},
+        },
+        parameters={"runs": 2, "frames": 9},
+    )
+
+
+class TestRecord:
+    def test_box_stats(self, record):
+        stats = record.box_stats("ssim")
+        assert stats["optimized_multicast"].mean == pytest.approx(0.955)
+
+    def test_missing_metric_rejected(self, record):
+        with pytest.raises(EmulationError):
+            record.box_stats("vmaf")
+
+    def test_markdown_contains_cases(self, record):
+        markdown = record.to_markdown()
+        assert "fig5" in markdown
+        assert "optimized_multicast" in markdown
+        assert "| case |" in markdown
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, record, tmp_path):
+        path = tmp_path / "records.json"
+        save_records([record], path)
+        loaded = load_records(path)
+        assert len(loaded) == 1
+        assert loaded[0].experiment_id == "fig5"
+        assert loaded[0].samples["predefined_unicast"]["ssim"] == [0.91, 0.93]
+        assert loaded[0].parameters["runs"] == 2
+
+    def test_empty_save_rejected(self, tmp_path):
+        with pytest.raises(EmulationError):
+            save_records([], tmp_path / "x.json")
+
+    def test_bad_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema_version": 99, "records": []}')
+        with pytest.raises(EmulationError):
+            load_records(path)
+
+
+class TestReport:
+    def test_report_over_multiple_records(self, record):
+        other = record_from_runner_output(
+            "fig8", "scheduler", {"optimized": {"ssim": [0.9]}}
+        )
+        report = render_report([record, other], title="Repro results")
+        assert report.startswith("# Repro results")
+        assert "fig5" in report and "fig8" in report
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(EmulationError):
+            render_report([])

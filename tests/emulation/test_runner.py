@@ -1,0 +1,94 @@
+"""Tests for the experiment runners (small, fast configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.emulation.runner import (
+    build_context,
+    run_ablation,
+    run_beamforming_comparison,
+    run_mobile_comparison,
+    run_scheduler_comparison,
+)
+from repro.errors import EmulationError
+from repro.types import BeamformingScheme
+
+
+@pytest.fixture(scope="module")
+def ctx(tmp_path_factory):
+    import os
+
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("cache"))
+    try:
+        return build_context(
+            height=144, width=256, dnn_epochs=150, probe_frames=2, seed=0
+        )
+    finally:
+        del os.environ["REPRO_CACHE_DIR"]
+
+
+class TestBuildContext:
+    def test_context_components(self, ctx):
+        assert ctx.dnn.is_fitted
+        assert len(ctx.probes) >= 2
+        assert len(ctx.videos) == 6
+
+    def test_dnn_cache_roundtrip(self, tmp_path):
+        import os
+
+        os.environ["REPRO_CACHE_DIR"] = str(tmp_path)
+        try:
+            first = build_context(height=144, width=256, dnn_epochs=60,
+                                  probe_frames=2, seed=1)
+            second = build_context(height=144, width=256, dnn_epochs=60,
+                                   probe_frames=2, seed=1)
+            x = first.probes[0].features([1, 0.5, 0, 0])
+            np.testing.assert_allclose(first.dnn.predict(x), second.dnn.predict(x))
+        finally:
+            del os.environ["REPRO_CACHE_DIR"]
+
+    def test_config_override(self, ctx):
+        config = ctx.config(rate_control=False)
+        assert not config.rate_control
+        assert ctx.base_config.rate_control
+
+
+class TestRunners:
+    def test_beamforming_comparison_shape(self, ctx):
+        results = run_beamforming_comparison(
+            ctx, 2, ("arc", 3, 60),
+            schemes=[BeamformingScheme.OPTIMIZED_MULTICAST,
+                     BeamformingScheme.PREDEFINED_UNICAST],
+            runs=1, frames=2,
+        )
+        assert set(results) == {"optimized_multicast", "predefined_unicast"}
+        for entry in results.values():
+            assert len(entry["ssim"]) == 1
+            assert len(entry["psnr"]) == 1
+            assert 0 <= entry["ssim"][0] <= 1
+
+    def test_scheduler_comparison_shape(self, ctx):
+        results = run_scheduler_comparison(ctx, 2, ("arc", 3, 60), runs=1, frames=2)
+        assert set(results) == {"optimized", "round_robin"}
+
+    def test_ablation_axes(self, ctx):
+        results = run_ablation(ctx, "source_coding", 2, ("arc", 3, 60),
+                               runs=1, frames=2)
+        assert set(results) == {"with_source_coding", "without_source_coding"}
+
+    def test_bad_ablation_axis_rejected(self, ctx):
+        with pytest.raises(EmulationError):
+            run_ablation(ctx, "magic", 2, ("arc", 3, 60), runs=1, frames=1)
+
+    def test_bad_placement_rejected(self, ctx):
+        with pytest.raises(EmulationError):
+            run_beamforming_comparison(ctx, 2, ("sphere", 1), runs=1, frames=1)
+
+    def test_mobile_comparison_series(self, ctx):
+        series = run_mobile_comparison(
+            ctx, 1, [0], "high", duration_s=0.5,
+            approaches=("realtime_update", "fast_mpc"),
+        )
+        assert set(series) == {"realtime_update", "fast_mpc"}
+        assert len(series["realtime_update"]) == 15
+        assert all(0 <= v <= 1 for v in series["fast_mpc"])

@@ -1,0 +1,103 @@
+"""Tests for emulation scenarios and trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.emulation.scenario import EmulationScenario
+from repro.errors import EmulationError
+
+
+class TestPlacements:
+    def test_arc_distances(self, scenario):
+        users = scenario.place_arc(3, 8.0, 60, seed=1)
+        for user in users:
+            assert user.distance_to(scenario.ap_position) == pytest.approx(8.0, abs=0.3)
+
+    def test_range_within_bounds(self, scenario):
+        users = scenario.place_random_range(4, 8.0, 16.0, 120, seed=2)
+        assert len(users) == 4
+        for user in users:
+            assert scenario.room.contains(user)
+
+
+class TestStaticTrace:
+    def test_length_and_interval(self, scenario):
+        users = scenario.place_arc(2, 3.0, 30, seed=3)
+        trace = scenario.static_trace(users, duration_s=0.5, seed=4)
+        assert len(trace) == 5
+        assert trace.beacon_interval_s == pytest.approx(0.1)
+
+    def test_estimates_differ_from_truth(self, scenario):
+        users = scenario.place_arc(1, 3.0, 0, seed=5)
+        trace = scenario.static_trace(users, duration_s=0.3, seed=6)
+        snap = trace.snapshots[0]
+        assert not np.allclose(
+            snap.true_state.channels[0], snap.estimated_state.channels[0]
+        )
+
+
+class TestMobileTrace:
+    def test_moving_user_changes_position(self, scenario):
+        trace = scenario.mobile_receiver_trace(
+            2, moving_users=[0], duration_s=1.0, rss_regime="high", seed=7
+        )
+        first = trace.snapshots[0].true_state.positions[0]
+        last = trace.snapshots[-1].true_state.positions[0]
+        assert first.distance_to(last) > 0.01
+
+    def test_static_user_stays_put(self, scenario):
+        trace = scenario.mobile_receiver_trace(
+            2, moving_users=[0], duration_s=1.0, rss_regime="high", seed=7
+        )
+        first = trace.snapshots[0].true_state.positions[1]
+        last = trace.snapshots[-1].true_state.positions[1]
+        assert first == last
+
+    def test_regimes_have_different_ranges(self, scenario):
+        high = scenario.mobile_receiver_trace(
+            1, [0], duration_s=1.0, rss_regime="high", seed=8
+        )
+        low = scenario.mobile_receiver_trace(
+            1, [0], duration_s=1.0, rss_regime="low", seed=8
+        )
+        dist_high = np.mean([
+            s.true_state.positions[0].distance_to(scenario.ap_position)
+            for s in high.snapshots
+        ])
+        dist_low = np.mean([
+            s.true_state.positions[0].distance_to(scenario.ap_position)
+            for s in low.snapshots
+        ])
+        assert dist_low > dist_high
+
+    def test_estimates_lag_one_beacon(self, scenario):
+        """Mobile traces model beam-training staleness: the estimate at tick
+        k derives from the true channel at tick k-1."""
+        trace = scenario.mobile_receiver_trace(
+            1, [0], duration_s=0.5, rss_regime="high", seed=9
+        )
+        prev_true = trace.snapshots[1].true_state.channels[0]
+        estimate = trace.snapshots[2].estimated_state.channels[0]
+        now_true = trace.snapshots[2].true_state.channels[0]
+        err_prev = np.linalg.norm(estimate - prev_true)
+        err_now = np.linalg.norm(estimate - now_true)
+        assert err_prev < err_now
+
+    def test_bad_regime_rejected(self, scenario):
+        with pytest.raises(EmulationError):
+            scenario.mobile_receiver_trace(1, [0], 1.0, rss_regime="medium")
+
+
+class TestEnvironmentTrace:
+    def test_static_positions_with_blockage_events(self, scenario):
+        trace = scenario.moving_environment_trace(
+            2, distance_m=5.0, mas_deg=60, duration_s=2.0, seed=10
+        )
+        first = trace.snapshots[0].true_state.positions[0]
+        last = trace.snapshots[-1].true_state.positions[0]
+        assert first == last
+        # Channel magnitude should fluctuate over time (blockage events).
+        magnitudes = [
+            np.linalg.norm(s.true_state.channels[0]) for s in trace.snapshots
+        ]
+        assert max(magnitudes) / (min(magnitudes) + 1e-18) > 1.2

@@ -1,0 +1,43 @@
+"""Tests for box statistics."""
+
+import pytest
+
+from repro.emulation.stats import BoxStats, print_table, summarize
+from repro.errors import EmulationError
+
+
+class TestBoxStats:
+    def test_five_number_summary(self):
+        stats = BoxStats.from_samples([1, 2, 3, 4, 5])
+        assert stats.minimum == 1
+        assert stats.median == 3
+        assert stats.maximum == 5
+        assert stats.mean == 3
+        assert stats.count == 5
+
+    def test_quartiles(self):
+        stats = BoxStats.from_samples(list(range(101)))
+        assert stats.q1 == pytest.approx(25.0)
+        assert stats.q3 == pytest.approx(75.0)
+
+    def test_single_sample(self):
+        stats = BoxStats.from_samples([0.9])
+        assert stats.minimum == stats.maximum == stats.mean == 0.9
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmulationError):
+            BoxStats.from_samples([])
+
+    def test_row_renders(self):
+        row = BoxStats.from_samples([0.1, 0.2, 0.3]).row()
+        assert "mean" in row and "n=3" in row
+
+    def test_summarize_multiple(self):
+        result = summarize({"a": [1, 2], "b": [3, 4]})
+        assert result["a"].mean == 1.5
+        assert result["b"].mean == 3.5
+
+    def test_print_table(self, capsys):
+        print_table("demo", summarize({"case1": [0.5, 0.7]}), header="hdr")
+        output = capsys.readouterr().out
+        assert "demo" in output and "case1" in output and "hdr" in output

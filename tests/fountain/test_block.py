@@ -1,0 +1,124 @@
+"""Tests for the sublayer <-> fountain-block mapping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FountainCodeError
+from repro.fountain.block import (
+    DEFAULT_SYMBOL_SIZE,
+    TARGET_SYMBOLS_PER_UNIT,
+    CodingUnitId,
+    FrameBlockDecoder,
+    FrameBlockEncoder,
+    all_unit_ids,
+    symbol_size_for,
+)
+from repro.video.jigsaw import LayerStructure
+from repro.video.metrics import ssim
+
+
+class TestCodingUnitId:
+    def test_block_id_roundtrip(self):
+        for unit in all_unit_ids(0) + all_unit_ids(7):
+            assert CodingUnitId.from_block_id(unit.block_id) == unit
+
+    def test_87_units_per_frame(self):
+        assert len(all_unit_ids(0)) == 87
+
+    def test_block_ids_unique_across_frames(self):
+        ids_f0 = {u.block_id for u in all_unit_ids(0)}
+        ids_f1 = {u.block_id for u in all_unit_ids(1)}
+        assert not ids_f0 & ids_f1
+
+    def test_bad_layer_rejected(self):
+        with pytest.raises(FountainCodeError):
+            CodingUnitId(0, 4, 0)
+        with pytest.raises(FountainCodeError):
+            CodingUnitId(0, 1, 4)
+
+
+class TestSymbolSizing:
+    def test_small_resolution_keeps_20_symbols(self):
+        structure = LayerStructure(144, 256)
+        size = symbol_size_for(structure)
+        k = -(-structure.sublayer_nbytes // size)
+        assert k == TARGET_SYMBOLS_PER_UNIT
+
+    def test_4k_capped_at_6000(self):
+        structure = LayerStructure(2160, 3840)
+        assert symbol_size_for(structure) == DEFAULT_SYMBOL_SIZE
+
+
+class TestFrameBlockRoundtrip:
+    def test_full_delivery_reconstructs(self, codec, hr_probe):
+        encoder = FrameBlockEncoder(0, hr_probe.layered)
+        decoder = FrameBlockDecoder(0, codec.structure, encoder.symbol_size)
+        k = encoder.symbols_per_unit()
+        for unit in encoder.units:
+            for symbol in encoder.next_symbols(unit, k):
+                decoder.ingest(symbol)
+        layered, masks = decoder.assemble()
+        assert all(mask.all() for mask in masks)
+        reference = codec.decode_fractions(hr_probe.layered, [1, 1, 1, 1])
+        rebuilt = codec.decode(layered, masks)
+        np.testing.assert_array_equal(reference.y, rebuilt.y)
+
+    def test_partial_delivery_decodes_partial(self, codec, hr_probe, hr_video):
+        encoder = FrameBlockEncoder(0, hr_probe.layered)
+        decoder = FrameBlockDecoder(0, codec.structure, encoder.symbol_size)
+        k = encoder.symbols_per_unit()
+        for unit in encoder.units:
+            if unit.layer <= 1:
+                for symbol in encoder.next_symbols(unit, k):
+                    decoder.ingest(symbol)
+        layered, masks = decoder.assemble()
+        assert masks[0].all() and masks[1].all()
+        assert not masks[2].any()
+        rebuilt = codec.decode(layered, masks)
+        quality = ssim(hr_video.frame(0), rebuilt)
+        assert quality == pytest.approx(hr_probe.cumulative_ssim[1], abs=0.01)
+
+    def test_lossy_delivery_with_makeup_symbols(self, codec, hr_probe, rng):
+        encoder = FrameBlockEncoder(0, hr_probe.layered)
+        decoder = FrameBlockDecoder(0, codec.structure, encoder.symbol_size)
+        k = encoder.symbols_per_unit()
+        unit = encoder.units[0]
+        for symbol in encoder.next_symbols(unit, k):
+            if rng.random() > 0.3:
+                decoder.ingest(symbol)
+        missing = k - decoder.unit_decoder(unit).received_count
+        if missing > 0:
+            for symbol in encoder.next_symbols(unit, missing + 1):
+                decoder.ingest(symbol)
+        assert decoder.unit_decoder(unit).is_decoded
+
+    def test_stream_continues_across_calls(self, hr_probe):
+        encoder = FrameBlockEncoder(0, hr_probe.layered)
+        unit = encoder.units[0]
+        first = encoder.next_symbols(unit, 5)
+        second = encoder.next_symbols(unit, 5)
+        ids = [s.symbol_id for s in first + second]
+        assert ids == list(range(10))
+        assert encoder.emitted_count(unit) == 10
+
+    def test_symbol_at_is_stable(self, hr_probe):
+        encoder = FrameBlockEncoder(0, hr_probe.layered)
+        unit = encoder.units[3]
+        assert encoder.symbol_at(unit, 2).payload == encoder.symbol_at(unit, 2).payload
+
+    def test_wrong_frame_symbol_rejected(self, codec, hr_probe):
+        encoder = FrameBlockEncoder(1, hr_probe.layered)
+        decoder = FrameBlockDecoder(0, codec.structure, encoder.symbol_size)
+        symbol = encoder.next_symbols(encoder.units[0], 1)[0]
+        with pytest.raises(FountainCodeError):
+            decoder.ingest(symbol)
+
+    def test_bytes_received_accounting(self, codec, hr_probe):
+        encoder = FrameBlockEncoder(0, hr_probe.layered)
+        decoder = FrameBlockDecoder(0, codec.structure, encoder.symbol_size)
+        unit = encoder.units[0]  # layer 0
+        for symbol in encoder.next_symbols(unit, 5):
+            decoder.ingest(symbol)
+        per_layer = decoder.bytes_received_per_layer()
+        assert per_layer[0] == 5 * encoder.symbol_size
+        assert per_layer[1:].sum() == 0

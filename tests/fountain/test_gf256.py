@@ -1,0 +1,107 @@
+"""Tests for GF(256) arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FountainCodeError
+from repro.fountain.gf256 import (
+    gf_inverse,
+    gf_matmul,
+    gf_multiply,
+    gf_scale_row,
+    gf_solve,
+)
+
+
+class TestMultiply:
+    def test_zero_annihilates(self):
+        a = np.arange(256, dtype=np.uint8)
+        assert np.all(gf_multiply(a, np.zeros_like(a)) == 0)
+
+    def test_one_is_identity(self):
+        a = np.arange(256, dtype=np.uint8)
+        np.testing.assert_array_equal(gf_multiply(a, np.ones_like(a)), a)
+
+    def test_commutative(self, rng):
+        a = rng.integers(0, 256, 100, dtype=np.uint8)
+        b = rng.integers(0, 256, 100, dtype=np.uint8)
+        np.testing.assert_array_equal(gf_multiply(a, b), gf_multiply(b, a))
+
+    def test_associative(self, rng):
+        a, b, c = (rng.integers(0, 256, 50, dtype=np.uint8) for _ in range(3))
+        left = gf_multiply(gf_multiply(a, b), c)
+        right = gf_multiply(a, gf_multiply(b, c))
+        np.testing.assert_array_equal(left, right)
+
+    def test_distributes_over_xor(self, rng):
+        a, b, c = (rng.integers(0, 256, 50, dtype=np.uint8) for _ in range(3))
+        left = gf_multiply(a, b ^ c)
+        right = gf_multiply(a, b) ^ gf_multiply(a, c)
+        np.testing.assert_array_equal(left, right)
+
+    def test_known_value(self):
+        # In GF(256) with 0x11D: 2 * 128 = 0x1D = 29.
+        assert int(gf_multiply(np.uint8(2), np.uint8(128))) == 29
+
+
+class TestInverse:
+    def test_all_nonzero_elements_invert(self):
+        for value in range(1, 256):
+            inverse = gf_inverse(value)
+            product = int(gf_multiply(np.uint8(value), np.uint8(inverse)))
+            assert product == 1
+
+    def test_zero_rejected(self):
+        with pytest.raises(FountainCodeError):
+            gf_inverse(0)
+
+
+class TestScaleRow:
+    def test_scale_by_zero(self, rng):
+        row = rng.integers(0, 256, 16, dtype=np.uint8)
+        assert np.all(gf_scale_row(row, 0) == 0)
+
+    def test_scale_then_unscale(self, rng):
+        row = rng.integers(0, 256, 16, dtype=np.uint8)
+        scaled = gf_scale_row(row, 7)
+        unscaled = gf_scale_row(scaled, gf_inverse(7))
+        np.testing.assert_array_equal(unscaled, row)
+
+
+class TestSolve:
+    def test_identity_system(self, rng):
+        rhs = rng.integers(0, 256, (4, 10), dtype=np.uint8)
+        solution, _ = gf_solve(np.eye(4, dtype=np.uint8), rhs)
+        np.testing.assert_array_equal(solution, rhs)
+
+    def test_random_invertible_system(self, rng):
+        k = 8
+        x = rng.integers(0, 256, (k, 32), dtype=np.uint8)
+        matrix = rng.integers(0, 256, (k, k), dtype=np.uint8)
+        rhs = gf_matmul(matrix, x)
+        result = gf_solve(matrix, rhs)
+        if result is not None:  # random matrix is invertible w.h.p.
+            np.testing.assert_array_equal(result[0], x)
+
+    def test_overdetermined_consistent(self, rng):
+        k = 5
+        x = rng.integers(0, 256, (k, 8), dtype=np.uint8)
+        matrix = rng.integers(0, 256, (k + 3, k), dtype=np.uint8)
+        rhs = gf_matmul(matrix, x)
+        result = gf_solve(matrix, rhs)
+        assert result is not None
+        np.testing.assert_array_equal(result[0], x)
+
+    def test_rank_deficient_returns_none(self):
+        matrix = np.array([[1, 2], [2, 4], [0, 0]], dtype=np.uint8)
+        # Row 2 = 2 * row 1 in GF(256)? 2*[1,2] = [2,4] indeed.
+        rhs = np.zeros((3, 4), dtype=np.uint8)
+        assert gf_solve(matrix, rhs) is None
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(FountainCodeError):
+            gf_solve(np.eye(3, dtype=np.uint8), np.zeros((2, 4), dtype=np.uint8))
+
+    def test_matmul_shape_mismatch_rejected(self):
+        with pytest.raises(FountainCodeError):
+            gf_matmul(np.zeros((2, 3), dtype=np.uint8), np.zeros((4, 2), dtype=np.uint8))

@@ -1,0 +1,142 @@
+"""Tests for the systematic fountain code."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FountainCodeError
+from repro.fountain.raptor import (
+    FountainDecoder,
+    FountainEncoder,
+    decode_failure_probability,
+)
+
+
+@pytest.fixture()
+def payload(rng):
+    return rng.integers(0, 256, size=4321, dtype=np.uint8).tobytes()
+
+
+class TestEncoder:
+    def test_k_from_data_and_symbol_size(self, payload):
+        encoder = FountainEncoder(1, payload, 500)
+        assert encoder.num_source_symbols == 9  # ceil(4321/500)
+
+    def test_systematic_symbols_are_source(self, payload):
+        encoder = FountainEncoder(1, payload, 500)
+        assert encoder.symbol(0).payload == payload[:500]
+        assert encoder.symbol(1).payload == payload[500:1000]
+
+    def test_repair_symbols_differ_from_source(self, payload):
+        encoder = FountainEncoder(1, payload, 500)
+        repair = encoder.symbol(encoder.num_source_symbols + 3)
+        assert repair.payload != payload[:500]
+        assert len(repair.payload) == 500
+
+    def test_symbols_deterministic(self, payload):
+        a = FountainEncoder(7, payload, 500)
+        b = FountainEncoder(7, payload, 500)
+        assert a.symbol(20).payload == b.symbol(20).payload
+
+    def test_different_block_ids_give_different_repair(self, payload):
+        a = FountainEncoder(1, payload, 500)
+        b = FountainEncoder(2, payload, 500)
+        sid = a.num_source_symbols + 1
+        assert a.symbol(sid).payload != b.symbol(sid).payload
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(FountainCodeError):
+            FountainEncoder(1, b"", 500)
+
+    def test_bad_symbol_size_rejected(self, payload):
+        with pytest.raises(FountainCodeError):
+            FountainEncoder(1, payload, 0)
+
+
+class TestDecoder:
+    def test_systematic_roundtrip(self, payload):
+        encoder = FountainEncoder(1, payload, 500)
+        decoder = FountainDecoder(1, len(payload), 500)
+        for symbol in encoder.symbols(0, encoder.num_source_symbols):
+            decoder.add_symbol(symbol)
+        assert decoder.decode() == payload
+
+    def test_repair_only_roundtrip(self, payload):
+        encoder = FountainEncoder(1, payload, 500)
+        decoder = FountainDecoder(1, len(payload), 500)
+        k = encoder.num_source_symbols
+        for symbol in encoder.symbols(k, k + 2):  # only repair symbols
+            decoder.add_symbol(symbol)
+        assert decoder.is_decoded
+        assert decoder.decode() == payload
+
+    def test_mixed_roundtrip_with_losses(self, payload, rng):
+        encoder = FountainEncoder(1, payload, 500)
+        decoder = FountainDecoder(1, len(payload), 500)
+        for symbol in encoder.symbols(0, 2 * encoder.num_source_symbols):
+            if rng.random() > 0.45:
+                decoder.add_symbol(symbol)
+        assert decoder.decode() == payload
+
+    def test_duplicates_add_nothing(self, payload):
+        encoder = FountainEncoder(1, payload, 500)
+        decoder = FountainDecoder(1, len(payload), 500)
+        symbol = encoder.symbol(0)
+        for _ in range(10):
+            decoder.add_symbol(symbol)
+        assert decoder.received_count == 1
+        assert not decoder.is_decoded
+
+    def test_insufficient_symbols_raise(self, payload):
+        encoder = FountainEncoder(1, payload, 500)
+        decoder = FountainDecoder(1, len(payload), 500)
+        decoder.add_symbol(encoder.symbol(0))
+        with pytest.raises(FountainCodeError):
+            decoder.decode()
+
+    def test_wrong_block_rejected(self, payload):
+        encoder = FountainEncoder(1, payload, 500)
+        decoder = FountainDecoder(2, len(payload), 500)
+        with pytest.raises(FountainCodeError):
+            decoder.add_symbol(encoder.symbol(0))
+
+    def test_wrong_payload_size_rejected(self, payload):
+        decoder = FountainDecoder(1, len(payload), 500)
+        from repro.fountain.raptor import FountainSymbol
+
+        with pytest.raises(FountainCodeError):
+            decoder.add_symbol(FountainSymbol(1, 0, b"short"))
+
+    def test_received_ids_tracked(self, payload):
+        encoder = FountainEncoder(1, payload, 500)
+        decoder = FountainDecoder(1, len(payload), 500)
+        decoder.add_symbol(encoder.symbol(3))
+        decoder.add_symbol(encoder.symbol(12))
+        assert decoder.received_ids() == {3, 12}
+
+    def test_single_symbol_block(self):
+        encoder = FountainEncoder(1, b"tiny", 500)
+        decoder = FountainDecoder(1, 4, 500)
+        decoder.add_symbol(encoder.symbol(0))
+        assert decoder.decode() == b"tiny"
+
+
+class TestOverheadProperty:
+    def test_exact_k_decodes_with_high_probability(self, rng):
+        """Receiving exactly K random repair symbols should almost always
+        decode (failure ~ 1/256 per missing rank)."""
+        data = rng.integers(0, 256, size=3000, dtype=np.uint8).tobytes()
+        successes = 0
+        trials = 30
+        for trial in range(trials):
+            encoder = FountainEncoder(trial, data, 300)
+            decoder = FountainDecoder(trial, len(data), 300)
+            k = encoder.num_source_symbols
+            for symbol in encoder.symbols(k + trial, k):  # K repair symbols
+                decoder.add_symbol(symbol)
+            successes += decoder.is_decoded
+        assert successes >= trials - 2
+
+    def test_failure_probability_formula(self):
+        assert decode_failure_probability(0) == pytest.approx(1 / 256)
+        assert decode_failure_probability(1) == pytest.approx(1 / 256**2)
+        assert decode_failure_probability(-1) == 1.0

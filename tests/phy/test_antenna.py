@@ -1,0 +1,89 @@
+"""Tests for the phased-array model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BeamformingError
+from repro.phy.antenna import PhasedArray
+
+
+class TestSteeringVector:
+    def test_norm_is_sqrt_n(self):
+        array = PhasedArray(32, 2)
+        vector = array.steering_vector(0.3)
+        assert np.linalg.norm(vector) == pytest.approx(np.sqrt(32))
+
+    def test_broadside_is_all_ones(self):
+        array = PhasedArray(16, 2)
+        np.testing.assert_allclose(array.steering_vector(0.0), np.ones(16))
+
+    def test_unit_modulus_entries(self):
+        array = PhasedArray(16, 2)
+        np.testing.assert_allclose(
+            np.abs(array.steering_vector(-0.7)), np.ones(16)
+        )
+
+
+class TestQuantisation:
+    def test_output_has_unit_norm(self, rng):
+        array = PhasedArray(32, 2)
+        weights = rng.normal(size=32) + 1j * rng.normal(size=32)
+        quantised = array.quantise_weights(weights)
+        assert np.linalg.norm(quantised) == pytest.approx(1.0)
+
+    def test_phases_are_quantised(self, rng):
+        array = PhasedArray(32, 2)
+        weights = rng.normal(size=32) + 1j * rng.normal(size=32)
+        quantised = array.quantise_weights(weights)
+        phases = np.angle(quantised)
+        step = 2 * np.pi / 4
+        remainder = np.mod(phases + 1e-9, step)
+        assert np.all((remainder < 1e-6) | (remainder > step - 1e-6))
+
+    def test_more_bits_less_loss(self, rng):
+        channel = rng.normal(size=32) + 1j * rng.normal(size=32)
+        coarse = PhasedArray(32, 1)
+        fine = PhasedArray(32, 6)
+        gain_coarse = coarse.beam_gain(coarse.conjugate_beam(channel), channel)
+        gain_fine = fine.beam_gain(fine.conjugate_beam(channel), channel)
+        assert gain_fine > gain_coarse
+
+    def test_wrong_shape_rejected(self):
+        array = PhasedArray(8, 2)
+        with pytest.raises(BeamformingError):
+            array.quantise_weights(np.ones(7, dtype=complex))
+
+
+class TestConjugateBeam:
+    def test_near_matched_filter_gain(self, rng):
+        """A 6-bit quantised conjugate beam captures nearly ||h||^2."""
+        array = PhasedArray(32, 6)
+        steering = array.steering_vector(0.4)
+        channel = 1e-4 * steering
+        beam = array.conjugate_beam(channel)
+        ideal = float(np.linalg.norm(channel) ** 2)
+        assert array.beam_gain(beam, channel) > 0.95 * ideal
+
+    def test_two_bit_loss_is_bounded(self, rng):
+        array = PhasedArray(32, 2)
+        channel = (rng.normal(size=32) + 1j * rng.normal(size=32)) * 1e-4
+        beam = array.conjugate_beam(channel)
+        ideal = float(np.linalg.norm(channel) ** 2)
+        gain = array.beam_gain(beam, channel)
+        # 2-bit phases + constant modulus cost at most ~4 dB.
+        assert gain > ideal * 10 ** (-4 / 10)
+
+    def test_zero_channel_rejected(self):
+        array = PhasedArray(8, 2)
+        with pytest.raises(BeamformingError):
+            array.conjugate_beam(np.zeros(8, dtype=complex))
+
+
+class TestValidation:
+    def test_bad_element_count(self):
+        with pytest.raises(BeamformingError):
+            PhasedArray(0, 2)
+
+    def test_bad_phase_bits(self):
+        with pytest.raises(BeamformingError):
+            PhasedArray(8, 0)

@@ -1,0 +1,84 @@
+"""Tests for channel synthesis and the link budget."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ChannelError
+from repro.phy.antenna import PhasedArray
+from repro.phy.channel import ChannelModel, ChannelState, LinkBudget
+from repro.phy.raytracer import RayTracer, Room
+from repro.types import Position
+
+
+@pytest.fixture()
+def model():
+    return ChannelModel(
+        RayTracer(Room(20, 12), Position(0.5, 6.0)), PhasedArray(32, 2)
+    )
+
+
+class TestLinkBudget:
+    def test_rss_formula(self):
+        budget = LinkBudget(tx_power_dbm=18, rx_gain_db=3, implementation_loss_db=2)
+        assert budget.rss_dbm(1.0) == pytest.approx(19.0)
+        assert budget.rss_dbm(0.1) == pytest.approx(9.0)
+
+    def test_zero_gain_is_minus_infinity(self):
+        assert LinkBudget().rss_dbm(0.0) == -np.inf
+
+
+class TestChannelModel:
+    def test_vector_length_matches_array(self, model, rng):
+        h = model.channel_vector(Position(5, 6), rng)
+        assert h.shape == (32,)
+        assert h.dtype == complex
+
+    def test_magnitude_decays_with_distance(self, model, rng):
+        near = np.mean([
+            np.linalg.norm(model.channel_vector(Position(3, 6), rng))
+            for _ in range(10)
+        ])
+        far = np.mean([
+            np.linalg.norm(model.channel_vector(Position(15, 6), rng))
+            for _ in range(10)
+        ])
+        assert near > far
+
+    def test_blockage_reduces_energy(self, model, rng):
+        clear = np.mean([
+            np.linalg.norm(model.channel_vector(Position(5, 6), rng)) ** 2
+            for _ in range(10)
+        ])
+        blocked = np.mean([
+            np.linalg.norm(
+                model.channel_vector(Position(5, 6), rng, los_extra_loss_db=22)
+            ) ** 2
+            for _ in range(10)
+        ])
+        assert blocked < clear
+
+    def test_conjugate_rss_in_table2_range(self, model, rng):
+        """At 3 m a matched beam should land comfortably inside Table 2."""
+        h = model.channel_vector(Position(3.5, 6), rng)
+        beam = model.array.conjugate_beam(h)
+        rss = model.rss_dbm(beam, h)
+        assert -60 < rss < -35
+
+    def test_snapshot_contains_all_users(self, model, rng):
+        users = {0: Position(3, 6), 1: Position(5, 7)}
+        state = model.snapshot(users, rng, time_s=1.5)
+        assert state.user_ids == [0, 1]
+        assert state.time_s == 1.5
+        assert state.positions[1] == Position(5, 7)
+
+
+class TestChannelState:
+    def test_stacked_shape(self, model, rng):
+        state = model.snapshot({0: Position(3, 6), 1: Position(5, 7)}, rng)
+        stacked = state.stacked([0, 1])
+        assert stacked.shape == (2, 32)
+
+    def test_stacked_missing_user_rejected(self, model, rng):
+        state = model.snapshot({0: Position(3, 6)}, rng)
+        with pytest.raises(ChannelError):
+            state.stacked([0, 7])

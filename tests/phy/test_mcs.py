@@ -1,0 +1,76 @@
+"""Tests for the MCS table (paper Table 2)."""
+
+import pytest
+
+from repro.errors import ChannelError
+from repro.phy.mcs import (
+    HIGH_RSS_THRESHOLD_DBM,
+    MCS_TABLE,
+    entry_for_index,
+    highest_supported_mcs,
+    rate_for_rss_mbps,
+    rate_ladder_mbps,
+    snr_margin_db,
+    supported_entries,
+)
+
+
+class TestTableContents:
+    def test_fourteen_entries(self):
+        assert len(MCS_TABLE) == 14
+
+    def test_unsupported_indices_match_paper(self):
+        unsupported = {e.index for e in MCS_TABLE if not e.supported}
+        assert unsupported == {0, 5, 9, 9.1}
+
+    def test_mcs12_values(self):
+        entry = entry_for_index(12)
+        assert entry.sensitivity_dbm == -53.0
+        assert entry.udp_throughput_mbps == 2400.0
+
+    def test_mcs1_values(self):
+        entry = entry_for_index(1)
+        assert entry.sensitivity_dbm == -68.0
+        assert entry.udp_throughput_mbps == 300.0
+
+    def test_supported_throughputs_increase_with_index(self):
+        rates = [e.udp_throughput_mbps for e in supported_entries()]
+        assert rates == sorted(rates)
+
+    def test_high_rss_threshold_is_mcs8_sensitivity(self):
+        assert HIGH_RSS_THRESHOLD_DBM == entry_for_index(8).sensitivity_dbm
+
+    def test_unknown_index_rejected(self):
+        with pytest.raises(ChannelError):
+            entry_for_index(13)
+
+
+class TestRssMapping:
+    def test_strong_signal_gets_mcs12(self):
+        assert highest_supported_mcs(-40.0).index == 12
+
+    def test_weak_signal_gets_mcs1(self):
+        assert highest_supported_mcs(-67.0).index == 1
+
+    def test_dead_link_gets_none(self):
+        assert highest_supported_mcs(-75.0) is None
+        assert rate_for_rss_mbps(-75.0) == 0.0
+
+    def test_boundary_is_inclusive(self):
+        assert highest_supported_mcs(-53.0).index == 12
+        assert highest_supported_mcs(-53.01).index == 11
+
+    def test_rate_monotone_in_rss(self):
+        rates = [rate_for_rss_mbps(rss) for rss in range(-70, -50)]
+        assert rates == sorted(rates)
+
+    def test_ladder_is_supported_rates(self):
+        ladder = rate_ladder_mbps()
+        assert ladder[0] == 300.0
+        assert ladder[-1] == 2400.0
+        assert len(ladder) == 10
+
+    def test_snr_margin(self):
+        entry = entry_for_index(8)
+        assert snr_margin_db(-58.0, entry) == pytest.approx(3.0)
+        assert snr_margin_db(-64.0, entry) == pytest.approx(-3.0)

@@ -1,0 +1,86 @@
+"""Tests for mobility models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ChannelError
+from repro.phy.mobility import EnvironmentMotionModel, RandomWalkModel
+from repro.phy.raytracer import Room
+from repro.types import Position
+
+
+class TestRandomWalk:
+    def test_stays_in_room(self):
+        room = Room(10, 8)
+        walker = RandomWalkModel(room=room, start=Position(5, 4), seed=1)
+        for _ in range(200):
+            position = walker.step(0.1)
+            assert room.contains(position)
+
+    def test_moves_at_roughly_configured_speed(self):
+        walker = RandomWalkModel(
+            room=Room(50, 50), start=Position(25, 25), speed_mps=1.0, seed=2
+        )
+        previous = walker.position
+        steps = []
+        for _ in range(100):
+            current = walker.step(0.1)
+            steps.append(current.distance_to(previous))
+            previous = current
+        assert np.mean(steps) == pytest.approx(0.1, rel=0.35)
+
+    def test_deterministic_given_seed(self):
+        a = RandomWalkModel(room=Room(), start=Position(5, 5), seed=3)
+        b = RandomWalkModel(room=Room(), start=Position(5, 5), seed=3)
+        for _ in range(10):
+            assert a.step() == b.step()
+
+    def test_start_outside_rejected(self):
+        with pytest.raises(ChannelError):
+            RandomWalkModel(room=Room(10, 8), start=Position(20, 4))
+
+    def test_bad_speed_rejected(self):
+        with pytest.raises(ChannelError):
+            RandomWalkModel(room=Room(), start=Position(5, 5), speed_mps=0)
+
+
+class TestEnvironmentMotion:
+    def test_blockers_move(self):
+        env = EnvironmentMotionModel(
+            room=Room(), ap_position=Position(0.5, 6), num_blockers=2, seed=4
+        )
+        before = [p.as_array().copy() for p in env.blocker_positions()]
+        for _ in range(20):
+            env.step()
+        after = [p.as_array() for p in env.blocker_positions()]
+        assert any(np.linalg.norm(a - b) > 0.1 for a, b in zip(before, after))
+
+    def test_blockage_triggers_when_blocker_on_path(self):
+        env = EnvironmentMotionModel(
+            room=Room(), ap_position=Position(0.5, 6), num_blockers=1, seed=5
+        )
+        # Place the blocker exactly on the LoS segment.
+        env._walkers[0]._position = Position(5.0, 6.0)
+        losses = env.los_extra_loss_db({0: Position(10.0, 6.0)})
+        assert losses[0] > 0
+
+    def test_no_blockage_off_path(self):
+        env = EnvironmentMotionModel(
+            room=Room(), ap_position=Position(0.5, 6), num_blockers=1, seed=6
+        )
+        env._walkers[0]._position = Position(5.0, 1.0)
+        losses = env.los_extra_loss_db({0: Position(10.0, 6.0)})
+        assert losses[0] == 0.0
+
+    def test_zero_blockers_allowed(self):
+        env = EnvironmentMotionModel(
+            room=Room(), ap_position=Position(0.5, 6), num_blockers=0
+        )
+        env.step()
+        assert env.los_extra_loss_db({0: Position(5, 5)}) == {0: 0.0}
+
+    def test_negative_blockers_rejected(self):
+        with pytest.raises(ChannelError):
+            EnvironmentMotionModel(
+                room=Room(), ap_position=Position(0.5, 6), num_blockers=-1
+            )

@@ -1,0 +1,66 @@
+"""Tests for 60 GHz propagation primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ChannelError
+from repro.phy.propagation import (
+    WAVELENGTH_M,
+    free_space_path_loss_db,
+    path_amplitude,
+    path_phase_rad,
+    segment_point_distance,
+)
+
+
+class TestPathLoss:
+    def test_one_metre_value(self):
+        """FSPL at 1 m, 60.48 GHz is ~68 dB."""
+        assert free_space_path_loss_db(1.0) == pytest.approx(68.08, abs=0.2)
+
+    def test_inverse_square_law(self):
+        """Doubling distance adds ~6 dB."""
+        delta = free_space_path_loss_db(8.0) - free_space_path_loss_db(4.0)
+        assert delta == pytest.approx(6.02, abs=0.1)
+
+    def test_oxygen_absorption_included(self):
+        spread_only = 20 * np.log10(2.0)
+        delta = free_space_path_loss_db(200.0) - free_space_path_loss_db(100.0)
+        assert delta > spread_only  # extra ~1.5 dB from O2 over 100 m
+
+    def test_near_field_rejected(self):
+        with pytest.raises(ChannelError):
+            free_space_path_loss_db(0.001)
+
+
+class TestAmplitudePhase:
+    def test_amplitude_matches_loss(self):
+        assert path_amplitude(20.0) == pytest.approx(0.1)
+
+    def test_phase_wraps(self):
+        phase = path_phase_rad(3.123)
+        assert 0.0 <= phase < 2 * np.pi
+
+    def test_half_wavelength_flips_phase(self):
+        a = path_phase_rad(1.0)
+        b = path_phase_rad(1.0 + WAVELENGTH_M / 2)
+        diff = (a - b) % (2 * np.pi)
+        assert diff == pytest.approx(np.pi, abs=1e-6)
+
+
+class TestSegmentDistance:
+    def test_point_on_segment(self):
+        d = segment_point_distance([0, 0], [10, 0], [5, 0])
+        assert d == pytest.approx(0.0)
+
+    def test_perpendicular_distance(self):
+        d = segment_point_distance([0, 0], [10, 0], [5, 3])
+        assert d == pytest.approx(3.0)
+
+    def test_beyond_endpoint_uses_endpoint(self):
+        d = segment_point_distance([0, 0], [10, 0], [13, 4])
+        assert d == pytest.approx(5.0)
+
+    def test_degenerate_segment(self):
+        d = segment_point_distance([2, 2], [2, 2], [5, 6])
+        assert d == pytest.approx(5.0)

@@ -1,0 +1,117 @@
+"""Tests for the image-method ray tracer and user placement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ChannelError
+from repro.phy.raytracer import (
+    RayTracer,
+    Room,
+    place_users_arc,
+    place_users_random_range,
+)
+from repro.types import Position
+
+
+@pytest.fixture()
+def tracer():
+    return RayTracer(Room(20, 12), Position(1.0, 6.0))
+
+
+class TestRoom:
+    def test_contains(self):
+        room = Room(10, 8)
+        assert room.contains(Position(5, 4))
+        assert not room.contains(Position(11, 4))
+
+    def test_clamp(self):
+        room = Room(10, 8)
+        clamped = room.clamp(-3, 100, margin=0.5)
+        assert clamped == Position(0.5, 7.5)
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ChannelError):
+            Room(-1, 5)
+
+
+class TestRayTracer:
+    def test_path_count_with_two_bounces(self, tracer):
+        paths = tracer.trace(Position(10, 6))
+        # 1 LoS + 4 first-order + 12 second-order images.
+        assert len(paths) == 17
+
+    def test_los_is_strongest(self, tracer):
+        paths = tracer.trace(Position(10, 6))
+        assert paths[0].is_los
+        assert paths[0].loss_db == min(p.loss_db for p in paths)
+
+    def test_los_geometry(self, tracer):
+        paths = tracer.trace(Position(10, 6))
+        los = paths[0]
+        assert los.length_m == pytest.approx(9.0)
+        assert los.aod_rad == pytest.approx(0.0, abs=1e-9)
+
+    def test_reflection_longer_and_lossier(self, tracer):
+        paths = tracer.trace(Position(10, 6))
+        los = paths[0]
+        for path in paths[1:]:
+            assert path.length_m > los.length_m
+            assert path.loss_db > los.loss_db
+
+    def test_first_order_image_length(self):
+        """Reflection off the y=0 wall has the mirror-image length."""
+        tracer = RayTracer(Room(20, 12), Position(1.0, 6.0), max_bounces=1)
+        receiver = Position(5.0, 6.0)
+        paths = tracer.trace(receiver)
+        mirror_len = np.hypot(5.0 - 1.0, -6.0 - 6.0)
+        lengths = [p.length_m for p in paths if p.num_bounces == 1]
+        assert any(abs(l - mirror_len) < 1e-6 for l in lengths)
+
+    def test_aod_measured_from_boresight(self):
+        tracer = RayTracer(Room(20, 12), Position(1.0, 6.0),
+                           ap_boresight_rad=np.pi / 2)
+        paths = tracer.trace(Position(1.0, 10.0))
+        assert paths[0].aod_rad == pytest.approx(0.0, abs=1e-9)
+
+    def test_receiver_outside_rejected(self, tracer):
+        with pytest.raises(ChannelError):
+            tracer.trace(Position(25, 6))
+
+    def test_max_bounces_validation(self):
+        with pytest.raises(ChannelError):
+            RayTracer(Room(), Position(1, 6), max_bounces=3)
+
+
+class TestPlacement:
+    def test_arc_distance_respected(self, rng):
+        room = Room(20, 12)
+        ap = Position(0.5, 6.0)
+        users = place_users_arc(ap, room, 4, 5.0, np.deg2rad(60), rng)
+        for user in users:
+            assert user.distance_to(ap) == pytest.approx(5.0, abs=0.2)
+
+    def test_arc_mas_respected(self, rng):
+        room = Room(20, 12)
+        ap = Position(0.5, 6.0)
+        users = place_users_arc(ap, room, 3, 5.0, np.deg2rad(40), rng)
+        angles = sorted(u.angle_from(ap) for u in users)
+        assert angles[-1] - angles[0] == pytest.approx(np.deg2rad(40), abs=0.02)
+
+    def test_range_placement_within_bounds(self, rng):
+        room = Room(20, 12)
+        ap = Position(0.5, 6.0)
+        users = place_users_random_range(ap, room, 6, 8, 16, np.deg2rad(120), rng)
+        assert len(users) == 6
+        for user in users:
+            assert room.contains(user)
+
+    def test_single_user_allowed(self, rng):
+        users = place_users_arc(Position(0.5, 6), Room(20, 12), 1, 3,
+                                np.deg2rad(30), rng)
+        assert len(users) == 1
+
+    def test_bad_args_rejected(self, rng):
+        with pytest.raises(ChannelError):
+            place_users_arc(Position(0.5, 6), Room(), 0, 3, 0.5, rng)
+        with pytest.raises(ChannelError):
+            place_users_random_range(Position(0.5, 6), Room(), 2, 5, 3, 0.5, rng)

@@ -1,0 +1,80 @@
+"""Tests for frame feature contexts and progressive quality curves."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QualityModelError
+from repro.quality.curves import FrameFeatureContext, ProgressiveQualityCurve
+
+
+class TestFrameFeatureContext:
+    def test_from_probe_copies_static_features(self, hr_probe):
+        context = FrameFeatureContext.from_probe(hr_probe)
+        np.testing.assert_allclose(
+            context.cumulative_ssim, hr_probe.cumulative_ssim
+        )
+        assert context.blank_ssim == pytest.approx(hr_probe.blank_ssim)
+
+    def test_features_for_bytes_single(self, hr_probe):
+        context = FrameFeatureContext.from_probe(hr_probe)
+        sizes = np.asarray(context.layer_sizes)
+        feats = context.features_for_bytes(sizes * 0.5)
+        np.testing.assert_allclose(feats[:4], 0.5)
+        assert feats.shape == (9,)
+
+    def test_features_for_bytes_batched(self, hr_probe):
+        context = FrameFeatureContext.from_probe(hr_probe)
+        sizes = np.asarray(context.layer_sizes)
+        batch = np.stack([sizes * 0.2, sizes * 1.5])
+        feats = context.features_for_bytes(batch)
+        assert feats.shape == (2, 9)
+        np.testing.assert_allclose(feats[0, :4], 0.2)
+        np.testing.assert_allclose(feats[1, :4], 1.0)  # clipped
+
+    def test_matches_probe_features(self, hr_probe):
+        context = FrameFeatureContext.from_probe(hr_probe)
+        sizes = np.asarray(context.layer_sizes)
+        fractions = np.array([1.0, 0.5, 0.25, 0.0])
+        np.testing.assert_allclose(
+            context.features_for_bytes(sizes * fractions),
+            hr_probe.features(fractions),
+        )
+
+    def test_rejects_wrong_dims(self, hr_probe):
+        context = FrameFeatureContext.from_probe(hr_probe)
+        with pytest.raises(QualityModelError):
+            context.features_for_bytes(np.zeros(3))
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(QualityModelError):
+            FrameFeatureContext((0.5, 0.6), 0.1, (1, 2, 3, 4))
+        with pytest.raises(QualityModelError):
+            FrameFeatureContext((0.5, 0.6, 0.7, 0.8), 0.1, (0, 2, 3, 4))
+
+
+class TestProgressiveQualityCurve:
+    @pytest.fixture(scope="class")
+    def curve(self, request):
+        probe = request.getfixturevalue("hr_probe")
+        return ProgressiveQualityCurve(probe, points_per_layer=2)
+
+    def test_monotone_nondecreasing(self, curve):
+        samples = [curve.ssim_at(p) for p in np.linspace(0, 4, 17)]
+        assert all(b >= a - 1e-6 for a, b in zip(samples, samples[1:]))
+
+    def test_endpoints(self, curve, hr_probe):
+        assert curve.ssim_at(4.0) == pytest.approx(
+            hr_probe.cumulative_ssim[-1], abs=1e-6
+        )
+        assert curve.ssim_at(0.0) <= hr_probe.cumulative_ssim[0]
+
+    def test_psnr_also_monotone(self, curve):
+        samples = [curve.psnr_at(p) for p in np.linspace(0, 4, 9)]
+        assert all(b >= a - 1e-6 for a, b in zip(samples, samples[1:]))
+
+    def test_progress_of_fractions(self, curve):
+        assert curve.progress_of_fractions([1, 1, 0.5, 0]) == pytest.approx(2.5)
+
+    def test_rejects_bad_points(self, hr_probe):
+        with pytest.raises(QualityModelError):
+            ProgressiveQualityCurve(hr_probe, points_per_layer=0)

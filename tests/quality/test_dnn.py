@@ -1,0 +1,106 @@
+"""Tests for the paper's DNN quality model (architecture, training,
+input gradients, persistence)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QualityModelError
+from repro.quality.dnn import HIDDEN_LAYERS, INPUT_FEATURES, DNNQualityModel
+
+
+class TestArchitecture:
+    def test_parameter_shapes_match_paper(self, small_dataset):
+        model = DNNQualityModel(epochs=1, seed=0)
+        model.fit(small_dataset.features[:32], small_dataset.ssim[:32])
+        params = model._params
+        assert len(params) == 2 * (HIDDEN_LAYERS + 1)
+        for layer in range(HIDDEN_LAYERS):
+            assert params[2 * layer].shape == (INPUT_FEATURES, INPUT_FEATURES)
+            assert params[2 * layer + 1].shape == (INPUT_FEATURES,)
+        assert params[-2].shape == (INPUT_FEATURES, 1)
+        assert params[-1].shape == (1,)
+
+    def test_wrong_feature_count_rejected(self, tiny_dnn):
+        with pytest.raises(QualityModelError):
+            tiny_dnn.predict(np.zeros(7))
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(QualityModelError):
+            DNNQualityModel().predict(np.zeros(INPUT_FEATURES))
+
+
+class TestTraining:
+    def test_loss_decreases(self, small_dataset):
+        model = DNNQualityModel(epochs=60, seed=0)
+        model.fit(small_dataset.features, small_dataset.ssim)
+        losses = model.training_loss
+        assert losses[-1] < losses[0]
+
+    def test_beats_mean_predictor(self, tiny_dnn, small_dataset):
+        mean_mse = float(np.var(small_dataset.ssim))
+        assert tiny_dnn.mse(small_dataset.features, small_dataset.ssim) < mean_mse / 4
+
+    def test_deterministic_given_seed(self, small_dataset):
+        a = DNNQualityModel(epochs=10, seed=5)
+        a.fit(small_dataset.features, small_dataset.ssim)
+        b = DNNQualityModel(epochs=10, seed=5)
+        b.fit(small_dataset.features, small_dataset.ssim)
+        np.testing.assert_array_equal(
+            a.predict(small_dataset.features), b.predict(small_dataset.features)
+        )
+
+    def test_shape_mismatch_rejected(self, rng):
+        model = DNNQualityModel(epochs=1)
+        with pytest.raises(QualityModelError):
+            model.fit(rng.normal(size=(10, 9)), np.zeros(9))
+
+
+class TestInputGradient:
+    def test_matches_finite_differences(self, tiny_dnn, small_dataset):
+        x = small_dataset.features[:3].copy()
+        _, analytic = tiny_dnn.predict_with_input_grad(x)
+        eps = 1e-6
+        for row in range(x.shape[0]):
+            for col in range(x.shape[1]):
+                plus = x.copy()
+                plus[row, col] += eps
+                minus = x.copy()
+                minus[row, col] -= eps
+                numeric = (
+                    tiny_dnn.predict(plus)[row] - tiny_dnn.predict(minus)[row]
+                ) / (2 * eps)
+                assert analytic[row, col] == pytest.approx(numeric, abs=1e-5)
+
+    def test_predictions_consistent_with_predict(self, tiny_dnn, small_dataset):
+        x = small_dataset.features[:8]
+        plain = tiny_dnn.predict(x)
+        with_grad, _ = tiny_dnn.predict_with_input_grad(x)
+        np.testing.assert_allclose(plain, with_grad)
+
+    def test_more_base_layer_data_helps(self, tiny_dnn, hr_probe):
+        """The learned surface must reward base-layer reception."""
+        low = hr_probe.features([0.1, 0, 0, 0])
+        high = hr_probe.features([1.0, 0, 0, 0])
+        assert tiny_dnn.predict(high)[0] > tiny_dnn.predict(low)[0]
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tiny_dnn, small_dataset, tmp_path):
+        path = tmp_path / "model.npz"
+        tiny_dnn.save(path)
+        loaded = DNNQualityModel.load(path)
+        np.testing.assert_allclose(
+            tiny_dnn.predict(small_dataset.features),
+            loaded.predict(small_dataset.features),
+        )
+
+    def test_save_unfitted_raises(self, tmp_path):
+        with pytest.raises(QualityModelError):
+            DNNQualityModel().save(tmp_path / "nope.npz")
+
+    def test_loaded_hyperparams(self, tiny_dnn, tmp_path):
+        path = tmp_path / "model.npz"
+        tiny_dnn.save(path)
+        loaded = DNNQualityModel.load(path)
+        assert loaded.epochs == tiny_dnn.epochs
+        assert loaded.batch_size == tiny_dnn.batch_size

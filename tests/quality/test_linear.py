@@ -1,0 +1,45 @@
+"""Tests for the linear-regression quality model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QualityModelError
+from repro.quality.linear import LinearRegressionModel
+
+
+class TestLinearRegression:
+    def test_recovers_exact_linear_relationship(self, rng):
+        x = rng.normal(size=(200, 5))
+        w = np.array([1.0, -2.0, 0.5, 3.0, 0.0])
+        y = x @ w + 4.0
+        model = LinearRegressionModel().fit(x, y)
+        assert model.mse(x, y) < 1e-20
+
+    def test_predict_single_vector(self, rng):
+        x = rng.normal(size=(50, 3))
+        y = x.sum(axis=1)
+        model = LinearRegressionModel().fit(x, y)
+        prediction = model.predict(np.array([1.0, 1.0, 1.0]))
+        assert prediction.shape == (1,)
+        assert prediction[0] == pytest.approx(3.0, abs=1e-8)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(QualityModelError):
+            LinearRegressionModel().predict(np.zeros(3))
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(QualityModelError):
+            LinearRegressionModel().fit(rng.normal(size=(10, 3)), np.zeros(8))
+
+    def test_is_fitted_flag(self, rng):
+        model = LinearRegressionModel()
+        assert not model.is_fitted
+        model.fit(rng.normal(size=(10, 2)), np.zeros(10))
+        assert model.is_fitted
+
+    def test_underfits_nonlinear_target(self, small_dataset):
+        """On the real quality data a linear model has visible error."""
+        model = LinearRegressionModel().fit(
+            small_dataset.features, small_dataset.ssim
+        )
+        assert model.mse(small_dataset.features, small_dataset.ssim) > 1e-5

@@ -1,0 +1,48 @@
+"""Tests for the epsilon-insensitive SVR quality model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QualityModelError
+from repro.quality.svm import SVRModel
+
+
+class TestSvr:
+    def test_fits_linear_data_within_epsilon(self, rng):
+        x = rng.normal(size=(300, 3))
+        y = x @ np.array([0.5, -0.25, 0.1]) + 0.4
+        model = SVRModel(epsilon=0.05, epochs=300, seed=0).fit(x, y)
+        residual = np.abs(model.predict(x) - y)
+        assert np.mean(residual) < 0.2
+
+    def test_epsilon_tube_limits_accuracy(self, rng):
+        """With a wide tube the model stops caring about small errors — the
+        reason SVM is the worst Table 1 entry."""
+        x = rng.normal(size=(300, 2))
+        y = 0.5 * x[:, 0]
+        tight = SVRModel(epsilon=0.01, epochs=300, seed=0).fit(x, y)
+        loose = SVRModel(epsilon=0.3, epochs=300, seed=0).fit(x, y)
+        assert tight.mse(x, y) < loose.mse(x, y)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(QualityModelError):
+            SVRModel().predict(np.zeros(3))
+
+    def test_bad_epsilon_rejected(self):
+        with pytest.raises(QualityModelError):
+            SVRModel(epsilon=-0.1)
+
+    def test_bad_c_rejected(self):
+        with pytest.raises(QualityModelError):
+            SVRModel(c=0.0)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(QualityModelError):
+            SVRModel().fit(rng.normal(size=(10, 3)), np.zeros(9))
+
+    def test_deterministic_with_seed(self, rng):
+        x = rng.normal(size=(100, 3))
+        y = x.sum(axis=1)
+        a = SVRModel(epochs=50, seed=7).fit(x, y).predict(x)
+        b = SVRModel(epochs=50, seed=7).fit(x, y).predict(x)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,141 @@
+"""Tests for the Problem-1 time-allocation optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.beamforming import GroupBeamPlanner, SectorCodebook
+from repro.errors import SchedulingError
+from repro.quality.curves import FrameFeatureContext
+from repro.scheduling.allocation import (
+    TimeAllocationOptimizer,
+    _project_capped_simplex,
+)
+from repro.scheduling.groups import GroupEnumerator
+from repro.types import BeamformingScheme, Position
+
+
+@pytest.fixture(scope="module")
+def problem(request):
+    """A 3-user allocation problem with groups, contexts and the DNN."""
+    scenario = request.getfixturevalue("scenario")
+    tiny_dnn = request.getfixturevalue("tiny_dnn")
+    hr_probe = request.getfixturevalue("hr_probe")
+    rng = np.random.default_rng(11)
+    users = {0: Position(3.0, 7.0), 1: Position(3.5, 6.0), 2: Position(4.0, 5.0)}
+    state = scenario.channel_model.snapshot(users, rng)
+    codebook = SectorCodebook(scenario.array, num_beams=16, num_wide_beams=4)
+    planner = GroupBeamPlanner(
+        scenario.array, codebook, scenario.channel_model.budget,
+        BeamformingScheme.OPTIMIZED_MULTICAST,
+    )
+    enum = GroupEnumerator(planner, rate_scale=56.25)
+    groups = enum.enumerate(state, [0, 1, 2])
+    context = FrameFeatureContext.from_probe(hr_probe)
+    contexts = {u: context for u in range(3)}
+    return groups, contexts, tiny_dnn
+
+
+class TestOptimizer:
+    def test_budget_respected(self, problem):
+        groups, contexts, dnn = problem
+        result = TimeAllocationOptimizer(dnn, iterations=80).optimize(
+            groups, contexts, frame_budget_s=1 / 30
+        )
+        assert result.total_time_s <= 1 / 30 + 1e-9
+        assert np.all(result.time_s >= -1e-12)
+
+    def test_bytes_equal_time_times_rate(self, problem):
+        groups, contexts, dnn = problem
+        result = TimeAllocationOptimizer(dnn, iterations=40).optimize(
+            groups, contexts, frame_budget_s=1 / 30
+        )
+        rates = np.array([g.rate_bytes_per_s for g in groups])
+        np.testing.assert_allclose(
+            result.bytes_allocated, result.time_s * rates[:, None]
+        )
+
+    def test_per_user_bytes_sum_memberships(self, problem):
+        groups, contexts, dnn = problem
+        result = TimeAllocationOptimizer(dnn, iterations=40).optimize(
+            groups, contexts, frame_budget_s=1 / 30
+        )
+        for user in range(3):
+            expected = np.zeros(4)
+            for gi, group in enumerate(groups):
+                if user in group.user_ids:
+                    expected += result.bytes_allocated[gi]
+            np.testing.assert_allclose(result.per_user_bytes[user], expected)
+
+    def test_base_layer_always_served(self, problem):
+        """No user may end up without base-layer data (the DNN penalises the
+        hole, so the optimizer must fill it)."""
+        groups, contexts, dnn = problem
+        result = TimeAllocationOptimizer(dnn, iterations=150).optimize(
+            groups, contexts, frame_budget_s=1 / 30
+        )
+        sizes = np.asarray(contexts[0].layer_sizes)
+        for user in range(3):
+            assert result.per_user_bytes[user][0] >= 0.8 * sizes[0]
+
+    def test_predicted_quality_reasonable(self, problem):
+        groups, contexts, dnn = problem
+        result = TimeAllocationOptimizer(dnn, iterations=150).optimize(
+            groups, contexts, frame_budget_s=1 / 30
+        )
+        for quality in result.predicted_quality.values():
+            assert 0.5 < quality <= 1.05
+
+    def test_more_budget_never_hurts_quality(self, problem):
+        groups, contexts, dnn = problem
+        optimizer = TimeAllocationOptimizer(dnn, iterations=120)
+        tight = optimizer.optimize(groups, contexts, frame_budget_s=1 / 120)
+        loose = optimizer.optimize(groups, contexts, frame_budget_s=1 / 30)
+        assert (
+            np.mean(list(loose.predicted_quality.values()))
+            >= np.mean(list(tight.predicted_quality.values())) - 0.02
+        )
+
+    def test_empty_groups_rejected(self, problem):
+        _, contexts, dnn = problem
+        with pytest.raises(SchedulingError):
+            TimeAllocationOptimizer(dnn).optimize([], contexts)
+
+    def test_negative_lambda_rejected(self, problem):
+        _, _, dnn = problem
+        with pytest.raises(SchedulingError):
+            TimeAllocationOptimizer(dnn, traffic_penalty_per_byte=-1.0)
+
+    def test_nonzero_entries_lists_allocations(self, problem):
+        groups, contexts, dnn = problem
+        result = TimeAllocationOptimizer(dnn, iterations=40).optimize(
+            groups, contexts, frame_budget_s=1 / 30
+        )
+        entries = result.nonzero_entries()
+        assert entries
+        total = sum(t for _, _, t in entries)
+        assert total == pytest.approx(result.total_time_s, rel=1e-6)
+
+
+class TestSimplexProjection:
+    def test_already_feasible_unchanged(self):
+        time = np.array([[0.001, 0.002], [0.0, 0.003]])
+        projected = _project_capped_simplex(time, budget=0.01)
+        np.testing.assert_allclose(projected, time)
+
+    def test_projects_to_budget(self, rng):
+        time = rng.uniform(0, 1, size=(5, 4))
+        projected = _project_capped_simplex(time, budget=0.5)
+        assert projected.sum() == pytest.approx(0.5, abs=1e-9)
+        assert np.all(projected >= 0)
+
+    def test_clips_negatives(self):
+        time = np.array([[-0.5, 0.2]])
+        projected = _project_capped_simplex(time, budget=1.0)
+        assert projected[0, 0] == 0.0
+        assert projected[0, 1] == pytest.approx(0.2)
+
+    def test_projection_is_idempotent(self, rng):
+        time = rng.uniform(0, 1, size=(3, 4))
+        once = _project_capped_simplex(time, budget=0.3)
+        twice = _project_capped_simplex(once, budget=0.3)
+        np.testing.assert_allclose(once, twice, atol=1e-12)

@@ -1,0 +1,106 @@
+"""Tests for candidate-group enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.beamforming import GroupBeamPlanner, SectorCodebook
+from repro.errors import SchedulingError
+from repro.scheduling.groups import GroupEnumerator
+from repro.types import BeamformingScheme, Position
+
+
+@pytest.fixture(scope="module")
+def snapshot(request):
+    scenario = request.getfixturevalue("scenario")
+    rng = np.random.default_rng(9)
+    users = {
+        0: Position(3.0, 7.0),
+        1: Position(3.5, 6.0),
+        2: Position(4.0, 5.0),
+    }
+    return scenario, scenario.channel_model.snapshot(users, rng)
+
+
+def _enumerator(scenario, scheme, **kwargs):
+    codebook = SectorCodebook(scenario.array, num_beams=16, num_wide_beams=4)
+    planner = GroupBeamPlanner(
+        scenario.array, codebook, scenario.channel_model.budget, scheme
+    )
+    return GroupEnumerator(planner, **kwargs)
+
+
+class TestEnumeration:
+    def test_multicast_enumerates_all_subsets(self, snapshot):
+        scenario, state = snapshot
+        enum = _enumerator(scenario, BeamformingScheme.OPTIMIZED_MULTICAST,
+                           min_rate_mbps=0.0)
+        groups = enum.enumerate(state, [0, 1, 2])
+        subsets = {g.user_ids for g in groups}
+        assert (0,) in subsets and (1,) in subsets and (2,) in subsets
+        assert (0, 1, 2) in subsets
+        assert len(subsets) <= 7
+
+    def test_unicast_only_singletons(self, snapshot):
+        scenario, state = snapshot
+        enum = _enumerator(scenario, BeamformingScheme.OPTIMIZED_UNICAST)
+        groups = enum.enumerate(state, [0, 1, 2])
+        assert all(len(g.user_ids) == 1 for g in groups)
+
+    def test_pruning_threshold_drops_weak_groups(self, snapshot):
+        scenario, state = snapshot
+        permissive = _enumerator(
+            scenario, BeamformingScheme.OPTIMIZED_MULTICAST, min_rate_mbps=0.0
+        )
+        strict = _enumerator(
+            scenario, BeamformingScheme.OPTIMIZED_MULTICAST, min_rate_mbps=2400.0
+        )
+        assert len(strict.enumerate(state, [0, 1, 2])) <= len(
+            permissive.enumerate(state, [0, 1, 2])
+        )
+
+    def test_singletons_survive_pruning(self, snapshot):
+        scenario, state = snapshot
+        strict = _enumerator(
+            scenario, BeamformingScheme.OPTIMIZED_MULTICAST, min_rate_mbps=1e9
+        )
+        groups = strict.enumerate(state, [0, 1, 2])
+        singleton_users = {g.user_ids[0] for g in groups if len(g.user_ids) == 1}
+        assert singleton_users  # at least the reachable users remain
+
+    def test_contiguous_restriction_above_limit(self, snapshot):
+        scenario, state = snapshot
+        enum = _enumerator(
+            scenario, BeamformingScheme.OPTIMIZED_MULTICAST,
+            min_rate_mbps=0.0, exhaustive_max_users=2,
+        )
+        groups = enum.enumerate(state, [0, 1, 2])
+        # With the contiguous restriction there are at most n(n+1)/2 + n
+        # candidates before pruning.
+        assert len(groups) <= 6
+
+    def test_indices_are_sequential(self, snapshot):
+        scenario, state = snapshot
+        enum = _enumerator(scenario, BeamformingScheme.OPTIMIZED_MULTICAST)
+        groups = enum.enumerate(state, [0, 1, 2])
+        assert [g.index for g in groups] == list(range(len(groups)))
+
+    def test_empty_users_rejected(self, snapshot):
+        scenario, state = snapshot
+        enum = _enumerator(scenario, BeamformingScheme.OPTIMIZED_MULTICAST)
+        with pytest.raises(SchedulingError):
+            enum.enumerate(state, [])
+
+    def test_rate_scale_divides_rates(self, snapshot):
+        scenario, state = snapshot
+        plain = _enumerator(scenario, BeamformingScheme.OPTIMIZED_UNICAST)
+        scaled = _enumerator(
+            scenario, BeamformingScheme.OPTIMIZED_UNICAST, rate_scale=10.0
+        )
+        rate_plain = plain.enumerate(state, [0])[0].rate_mbps
+        rate_scaled = scaled.enumerate(state, [0])[0].rate_mbps
+        assert rate_scaled == pytest.approx(rate_plain / 10.0)
+
+    def test_bad_rate_scale_rejected(self, snapshot):
+        scenario, _ = snapshot
+        with pytest.raises(SchedulingError):
+            _enumerator(scenario, BeamformingScheme.OPTIMIZED_UNICAST, rate_scale=0)

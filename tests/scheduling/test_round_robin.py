@@ -1,0 +1,79 @@
+"""Tests for the round-robin baseline scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.beamforming.selection import BeamPlan
+from repro.errors import SchedulingError
+from repro.phy.mcs import entry_for_index
+from repro.quality.curves import FrameFeatureContext
+from repro.scheduling.groups import CandidateGroup
+from repro.scheduling.round_robin import SLOT_S, round_robin_allocation
+
+
+def _group(index, users, rate_mbps=800.0):
+    plan = BeamPlan(
+        user_ids=tuple(users),
+        beam=np.ones(4) / 2.0,
+        per_user_rss_dbm={u: -55.0 for u in users},
+        min_rss_dbm=-55.0,
+        mcs=entry_for_index(4),
+        rate_mbps=rate_mbps,
+    )
+    return CandidateGroup(index=index, plan=plan)
+
+
+@pytest.fixture()
+def context(hr_probe):
+    return FrameFeatureContext.from_probe(hr_probe)
+
+
+class TestRoundRobin:
+    def test_equal_time_across_groups(self, context):
+        groups = [_group(0, (0,)), _group(1, (1,)), _group(2, (0, 1))]
+        contexts = {0: context, 1: context}
+        result = round_robin_allocation(groups, contexts, frame_budget_s=33 * SLOT_S)
+        per_group = result.time_s.sum(axis=1)
+        # 33 slots over 3 groups -> 11 each, minus per-group layer caps.
+        assert per_group.max() - per_group.min() <= SLOT_S + 1e-9
+
+    def test_fills_layers_bottom_up(self, context):
+        groups = [_group(0, (0,), rate_mbps=50.0)]
+        result = round_robin_allocation(groups, {0: context}, frame_budget_s=1 / 30)
+        bytes_alloc = result.bytes_allocated[0]
+        sizes = np.asarray(context.layer_sizes)
+        # Low rate: layer 0 filled first, later layers only after.
+        assert bytes_alloc[0] == pytest.approx(
+            min(sizes[0], groups[0].rate_bytes_per_s / 30), rel=1e-6
+        )
+
+    def test_layer_caps_respected(self, context):
+        groups = [_group(0, (0,), rate_mbps=5000.0)]
+        result = round_robin_allocation(groups, {0: context}, frame_budget_s=1 / 30)
+        sizes = np.asarray(context.layer_sizes)
+        assert np.all(result.bytes_allocated[0] <= sizes + 1e-6)
+
+    def test_budget_respected(self, context):
+        groups = [_group(i, (i % 2,)) for i in range(5)]
+        result = round_robin_allocation(
+            groups, {0: context, 1: context}, frame_budget_s=1 / 30
+        )
+        assert result.total_time_s <= 1 / 30 + 1e-9
+
+    def test_redundancy_across_overlapping_groups(self, context):
+        """RR re-fills low layers per group — the redundancy the optimizer
+        avoids: a user in two groups is allocated layer 0 twice."""
+        groups = [_group(0, (0,)), _group(1, (0, 1))]
+        result = round_robin_allocation(
+            groups, {0: context, 1: context}, frame_budget_s=1 / 30
+        )
+        sizes = np.asarray(context.layer_sizes)
+        assert result.per_user_bytes[0][0] > sizes[0] * 1.5
+
+    def test_empty_groups_rejected(self, context):
+        with pytest.raises(SchedulingError):
+            round_robin_allocation([], {0: context})
+
+    def test_empty_contexts_rejected(self):
+        with pytest.raises(SchedulingError):
+            round_robin_allocation([_group(0, (0,))], {})

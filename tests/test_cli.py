@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_beamforming_defaults(self):
+        args = build_parser().parse_args(["beamforming"])
+        assert args.users == 3
+        assert args.distance == 3.0
+        assert args.range is None
+
+    def test_range_placement(self):
+        args = build_parser().parse_args(
+            ["scheduler", "--range", "8", "16", "--mas", "120"]
+        )
+        assert args.range == [8.0, 16.0]
+        assert args.mas == 120.0
+
+    def test_ablation_axis_choices(self):
+        args = build_parser().parse_args(["ablation", "--axis", "rate_control"])
+        assert args.axis == "rate_control"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablation", "--axis", "magic"])
+
+    def test_mobile_args(self):
+        args = build_parser().parse_args(
+            ["mobile", "--users", "3", "--moving", "0", "1", "--regime", "low"]
+        )
+        assert args.moving == [0, 1]
+        assert args.regime == "low"
+
+    def test_seed_is_global(self):
+        args = build_parser().parse_args(["--seed", "42", "quality-model"])
+        assert args.seed == 42
+
+
+class TestExecution:
+    def test_quality_model_command_runs(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        # Patch the trainer to a fast configuration.
+        import repro.cli as cli_mod
+        from repro.quality.model import train_quality_models as real_train
+
+        def fast_train(dnn_epochs, seed):
+            from repro.video.synthetic import make_standard_videos
+            from repro.video.dataset import generate_dataset
+
+            videos = make_standard_videos(height=144, width=256, num_frames=4)
+            dataset = generate_dataset(
+                videos[:2], frames_per_video=1, samples_per_frame=8, seed=seed
+            )
+            return real_train(dataset=dataset, dnn_epochs=30, seed=seed)
+
+        import repro.quality
+
+        monkeypatch.setattr(repro.quality, "train_quality_models", fast_train)
+        exit_code = main(["quality-model", "--epochs", "30"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Quality model test MSE" in output
+        assert "dnn" in output

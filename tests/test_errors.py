@@ -1,0 +1,36 @@
+"""The exception hierarchy must hang off one catchable base class."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ConfigurationError,
+    errors.VideoFormatError,
+    errors.CodecError,
+    errors.QualityModelError,
+    errors.ChannelError,
+    errors.BeamformingError,
+    errors.FountainCodeError,
+    errors.SchedulingError,
+    errors.TransportError,
+    errors.EmulationError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_derives_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    assert issubclass(exc, Exception)
+
+
+def test_base_catches_subclass():
+    with pytest.raises(errors.ReproError):
+        raise errors.CodecError("boom")
+
+
+def test_public_reexport():
+    import repro
+
+    assert repro.ReproError is errors.ReproError

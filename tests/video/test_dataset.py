@@ -1,0 +1,85 @@
+"""Tests for quality-model dataset generation."""
+
+import numpy as np
+import pytest
+
+from repro.video.dataset import (
+    NUM_FEATURES,
+    FrameQualityProbe,
+    generate_dataset,
+)
+
+
+class TestFrameQualityProbe:
+    def test_cumulative_ssim_is_monotone(self, hr_probe):
+        values = hr_probe.cumulative_ssim
+        assert np.all(np.diff(values) >= -1e-9)
+
+    def test_full_layers_reach_near_one(self, hr_probe):
+        assert hr_probe.cumulative_ssim[-1] > 0.99
+
+    def test_blank_ssim_below_base_layer(self, hr_probe):
+        assert hr_probe.blank_ssim < hr_probe.cumulative_ssim[0]
+
+    def test_features_have_nine_dims(self, hr_probe):
+        feats = hr_probe.features([0.5, 0.5, 0.0, 0.0])
+        assert feats.shape == (NUM_FEATURES,)
+
+    def test_features_clip_fractions(self, hr_probe):
+        feats = hr_probe.features([2.0, -1.0, 0.5, 0.0])
+        assert feats[0] == 1.0
+        assert feats[1] == 0.0
+
+    def test_measure_matches_sample(self, hr_probe):
+        quality, _ = hr_probe.measure([1, 0.5, 0, 0])
+        feats, sampled = hr_probe.sample([1, 0.5, 0, 0])
+        assert sampled == pytest.approx(quality)
+        np.testing.assert_allclose(feats, hr_probe.features([1, 0.5, 0, 0]))
+
+    def test_measure_masks_agrees_with_fractions(self, codec, hr_probe):
+        fractions = [1, 0.5, 0.25, 0]
+        masks = codec.masks_for_fractions(fractions)
+        via_masks, _ = hr_probe.measure_masks(masks)
+        via_fracs, _ = hr_probe.measure(fractions)
+        assert via_masks == pytest.approx(via_fracs)
+
+    def test_lr_base_layer_scores_higher_than_hr(self, hr_probe, lr_probe):
+        """LR content concentrates energy in the base layer (Sec 2.3)."""
+        assert lr_probe.cumulative_ssim[0] > hr_probe.cumulative_ssim[0]
+
+
+class TestGenerateDataset:
+    def test_shapes(self, small_dataset):
+        n = len(small_dataset)
+        assert small_dataset.features.shape == (n, NUM_FEATURES)
+        assert small_dataset.ssim.shape == (n,)
+        assert small_dataset.psnr.shape == (n,)
+
+    def test_labels_in_valid_range(self, small_dataset):
+        assert np.all(small_dataset.ssim <= 1.0 + 1e-9)
+        assert np.all(small_dataset.ssim >= -1.0)
+        assert np.all(small_dataset.psnr > 0)
+
+    def test_covers_hole_vectors(self, small_dataset):
+        """The mode-3 sampler must include missing-lower-layer samples."""
+        fractions = small_dataset.features[:, :4]
+        holes = (fractions[:, 0] == 0.0) & (fractions[:, 1:].max(axis=1) > 0.4)
+        assert holes.any()
+
+    def test_split_is_disjoint_and_sized(self, small_dataset):
+        train, test = small_dataset.split(train_fraction=0.7, seed=1)
+        assert len(train) + len(test) == len(small_dataset)
+        assert len(train) == int(round(0.7 * len(small_dataset)))
+
+    def test_split_deterministic(self, small_dataset):
+        a, _ = small_dataset.split(seed=3)
+        b, _ = small_dataset.split(seed=3)
+        np.testing.assert_array_equal(a.features, b.features)
+
+    def test_deterministic_generation(self, hr_video):
+        a = generate_dataset([hr_video], frames_per_video=1,
+                             samples_per_frame=4, seed=5)
+        b = generate_dataset([hr_video], frames_per_video=1,
+                             samples_per_frame=4, seed=5)
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.ssim, b.ssim)

@@ -1,0 +1,69 @@
+"""Tests for the YUV420 frame container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoFormatError
+from repro.video.frame import VideoFrame, blank_frame
+
+
+def _planes(h=16, w=32):
+    y = np.zeros((h, w), dtype=np.uint8)
+    u = np.zeros((h // 2, w // 2), dtype=np.uint8)
+    v = np.zeros((h // 2, w // 2), dtype=np.uint8)
+    return y, u, v
+
+
+class TestVideoFrame:
+    def test_valid_frame_roundtrips_dimensions(self):
+        frame = VideoFrame(*_planes(32, 64))
+        assert frame.height == 32
+        assert frame.width == 64
+        assert frame.num_pixels == 32 * 64
+
+    def test_raw_size_is_1_5_bytes_per_pixel(self):
+        frame = VideoFrame(*_planes(32, 64))
+        assert frame.raw_size_bytes() == int(32 * 64 * 1.5)
+
+    def test_rejects_non_uint8(self):
+        y, u, v = _planes()
+        with pytest.raises(VideoFormatError):
+            VideoFrame(y.astype(np.float32), u, v)
+
+    def test_rejects_odd_dimensions(self):
+        y = np.zeros((15, 32), dtype=np.uint8)
+        u = np.zeros((7, 16), dtype=np.uint8)
+        with pytest.raises(VideoFormatError):
+            VideoFrame(y, u, u.copy())
+
+    def test_rejects_mismatched_chroma(self):
+        y, u, v = _planes()
+        with pytest.raises(VideoFormatError):
+            VideoFrame(y, u[:-1], v)
+
+    def test_rejects_1d_plane(self):
+        y, u, v = _planes()
+        with pytest.raises(VideoFormatError):
+            VideoFrame(y.ravel(), u, v)
+
+    def test_copy_is_deep(self):
+        frame = VideoFrame(*_planes())
+        duplicate = frame.copy()
+        duplicate.y[0, 0] = 200
+        assert frame.y[0, 0] == 0
+
+
+class TestBlankFrame:
+    def test_default_is_black_with_neutral_chroma(self):
+        frame = blank_frame(16, 32)
+        assert int(frame.y.max()) == 0
+        assert int(frame.u.min()) == 128
+        assert int(frame.v.max()) == 128
+
+    def test_custom_luma(self):
+        frame = blank_frame(16, 32, luma=200)
+        assert int(frame.y.min()) == 200
+
+    def test_rejects_out_of_range_luma(self):
+        with pytest.raises(VideoFormatError):
+            blank_frame(16, 32, luma=300)

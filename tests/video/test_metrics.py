@@ -1,0 +1,92 @@
+"""Tests for SSIM and PSNR."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VideoFormatError
+from repro.video.frame import blank_frame
+from repro.video.metrics import PSNR_CAP_DB, psnr, ssim, ssim_to_psnr_rough
+
+
+def _image(rng, h=64, w=64):
+    return rng.integers(0, 256, size=(h, w)).astype(np.uint8)
+
+
+class TestSsim:
+    def test_identical_images_score_one(self, rng):
+        image = _image(rng)
+        assert ssim(image, image) == pytest.approx(1.0, abs=1e-9)
+
+    def test_noise_reduces_ssim(self, rng):
+        # Use a smooth reference: SSIM is contrast-normalised, so noise on a
+        # noise image barely registers, but noise on structure does.
+        yy, xx = np.mgrid[0:64, 0:64]
+        image = (128 + 60 * np.sin(xx / 6.0)).astype(np.uint8)
+        noisy = np.clip(
+            image.astype(int) + rng.normal(0, 20, image.shape), 0, 255
+        ).astype(np.uint8)
+        assert ssim(image, noisy) < 0.9
+
+    def test_more_noise_scores_lower(self, rng):
+        image = _image(rng)
+        mild = np.clip(image.astype(int) + rng.normal(0, 5, image.shape), 0, 255)
+        harsh = np.clip(image.astype(int) + rng.normal(0, 40, image.shape), 0, 255)
+        assert ssim(image, harsh.astype(np.uint8)) < ssim(image, mild.astype(np.uint8))
+
+    def test_bounded_by_one(self, rng):
+        a, b = _image(rng), _image(rng)
+        assert -1.0 <= ssim(a, b) <= 1.0
+
+    def test_accepts_video_frames(self, hr_video):
+        frame = hr_video.frame(0)
+        assert ssim(frame, frame) == pytest.approx(1.0, abs=1e-9)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(VideoFormatError):
+            ssim(_image(rng, 64, 64), _image(rng, 32, 32))
+
+    def test_symmetry(self, rng):
+        a, b = _image(rng), _image(rng)
+        assert ssim(a, b) == pytest.approx(ssim(b, a), abs=1e-9)
+
+    def test_blank_frame_ssim_is_low_for_rich_content(self, hr_video):
+        frame = hr_video.frame(0)
+        blank = blank_frame(frame.height, frame.width)
+        assert ssim(frame, blank) < 0.4
+
+
+class TestPsnr:
+    def test_identical_images_hit_cap(self, rng):
+        image = _image(rng)
+        assert psnr(image, image) == PSNR_CAP_DB
+
+    def test_known_mse(self):
+        a = np.zeros((16, 16), dtype=np.uint8)
+        b = np.full((16, 16), 16, dtype=np.uint8)  # MSE = 256
+        expected = 10 * np.log10(255**2 / 256)
+        assert psnr(a, b) == pytest.approx(expected, abs=1e-6)
+
+    def test_monotone_with_noise(self, rng):
+        image = _image(rng)
+        mild = np.clip(image.astype(int) + 4, 0, 255).astype(np.uint8)
+        harsh = np.clip(image.astype(int) + 32, 0, 255).astype(np.uint8)
+        assert psnr(image, harsh) < psnr(image, mild)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(VideoFormatError):
+            psnr(_image(rng, 64, 64), _image(rng, 32, 32))
+
+
+class TestSsimPsnrCorrespondence:
+    def test_rough_mapping_is_monotone(self):
+        values = [ssim_to_psnr_rough(v) for v in (0.8, 0.9, 0.95, 0.99)]
+        assert values == sorted(values)
+
+    def test_metrics_rank_distortions_consistently(self, codec, hr_video):
+        """SSIM and PSNR must agree on which reception decodes better."""
+        frame = hr_video.frame(0)
+        layered = codec.encode(frame)
+        low = codec.decode_fractions(layered, [1, 0.5, 0, 0])
+        high = codec.decode_fractions(layered, [1, 1, 1, 0.5])
+        assert ssim(frame, high) > ssim(frame, low)
+        assert psnr(frame, high) > psnr(frame, low)
