@@ -11,6 +11,14 @@ experiment family:
 
 Each runner returns raw per-run samples so the benchmarks can print the same
 box statistics the paper plots.
+
+Runs are independent and individually seeded, so every runner fans them
+across cores through :func:`repro.perf.parallel.parallel_map` (worker count
+from its ``jobs`` argument or the ``REPRO_JOBS`` environment variable;
+``jobs=1`` stays a plain serial loop).  The shared
+:class:`ExperimentContext` is installed in each worker once via the pool
+initializer, and results merge in run order, so metrics are identical at
+any job count.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from ..baselines import (
 )
 from ..core import MulticastStreamer, SystemConfig
 from ..errors import EmulationError
+from ..perf.parallel import parallel_map
 from ..quality.dnn import DNNQualityModel
 from ..types import (
     AdaptationPolicy,
@@ -165,6 +174,88 @@ def _trace_for_placement(
     return ctx.scenario.static_trace(positions, duration_s=1.0, seed=run_seed + 1)
 
 
+# ----------------------------------------------------------- worker plumbing
+
+#: Shared context inside pool workers (installed once per worker by the
+#: pool initializer; the serial path installs it in-process).
+_WORKER_CTX: Optional[ExperimentContext] = None
+
+
+def _install_context(ctx: ExperimentContext) -> None:
+    """Pool initializer: make the heavyweight context a worker global."""
+    global _WORKER_CTX
+    _WORKER_CTX = ctx
+
+
+def _stream_sample(
+    ctx: ExperimentContext,
+    config: SystemConfig,
+    trace,
+    frames: int,
+    seed: int,
+) -> Tuple[float, float]:
+    """One streaming session's (mean SSIM, mean PSNR)."""
+    streamer = MulticastStreamer(
+        config, ctx.dnn, ctx.probes, ctx.scenario.channel_model, seed=seed
+    )
+    outcome = streamer.stream_trace(trace, num_frames=frames)
+    return outcome.mean_ssim, outcome.mean_psnr_db
+
+
+def _beamforming_run(args) -> Dict[str, Tuple[float, float]]:
+    """One random placement, every beamforming scheme (worker task)."""
+    run, num_users, placement, schemes, frames, overrides = args
+    ctx = _WORKER_CTX
+    run_seed = 1000 + 17 * run
+    trace = _trace_for_placement(ctx, num_users, placement, run_seed)
+    out: Dict[str, Tuple[float, float]] = {}
+    for scheme in schemes:
+        config = ctx.config(scheme=scheme, **(overrides or {}))
+        out[scheme.value] = _stream_sample(ctx, config, trace, frames, run_seed + 7)
+    return out
+
+
+def _scheduler_run(args) -> Dict[str, Tuple[float, float]]:
+    """One random placement, both schedulers (worker task)."""
+    run, num_users, placement, frames = args
+    ctx = _WORKER_CTX
+    run_seed = 2000 + 13 * run
+    trace = _trace_for_placement(ctx, num_users, placement, run_seed)
+    out: Dict[str, Tuple[float, float]] = {}
+    for kind in SchedulerKind:
+        config = ctx.config(scheduler=kind)
+        out[kind.value] = _stream_sample(ctx, config, trace, frames, run_seed + 7)
+    return out
+
+
+def _ablation_run(args) -> Dict[str, Tuple[float, float]]:
+    """One random placement, ablation axis on and off (worker task)."""
+    run, axis, num_users, placement, frames = args
+    ctx = _WORKER_CTX
+    run_seed = 3000 + 29 * run
+    trace = _trace_for_placement(ctx, num_users, placement, run_seed)
+    out: Dict[str, Tuple[float, float]] = {}
+    for enabled in (True, False):
+        config = ctx.config(**{axis: enabled})
+        key = f"with_{axis}" if enabled else f"without_{axis}"
+        out[key] = _stream_sample(ctx, config, trace, frames, run_seed + 7)
+    return out
+
+
+def _merge_runs(
+    keys: Sequence[str], per_run: Sequence[Dict[str, Tuple[float, float]]]
+) -> Dict[str, Dict[str, List[float]]]:
+    """Stitch ordered per-run samples back into the per-key series shape."""
+    results: Dict[str, Dict[str, List[float]]] = {
+        key: {"ssim": [], "psnr": []} for key in keys
+    }
+    for run_result in per_run:
+        for key, (ssim_value, psnr_value) in run_result.items():
+            results[key]["ssim"].append(ssim_value)
+            results[key]["psnr"].append(psnr_value)
+    return results
+
+
 # ------------------------------------------------------------------- runners
 
 
@@ -176,24 +267,21 @@ def run_beamforming_comparison(
     runs: int = DEFAULT_RUNS,
     frames: int = DEFAULT_FRAMES,
     config_overrides: Optional[dict] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, List[float]]]:
     """Per-scheme SSIM/PSNR samples over random placements."""
-    results: Dict[str, Dict[str, List[float]]] = {
-        s.value: {"ssim": [], "psnr": []} for s in schemes
-    }
-    for run in range(runs):
-        run_seed = 1000 + 17 * run
-        trace = _trace_for_placement(ctx, num_users, placement, run_seed)
-        for scheme in schemes:
-            config = ctx.config(scheme=scheme, **(config_overrides or {}))
-            streamer = MulticastStreamer(
-                config, ctx.dnn, ctx.probes, ctx.scenario.channel_model,
-                seed=run_seed + 7,
-            )
-            outcome = streamer.stream_trace(trace, num_frames=frames)
-            results[scheme.value]["ssim"].append(outcome.mean_ssim)
-            results[scheme.value]["psnr"].append(outcome.mean_psnr_db)
-    return results
+    schemes = tuple(schemes)
+    per_run = parallel_map(
+        _beamforming_run,
+        [
+            (run, num_users, placement, schemes, frames, config_overrides)
+            for run in range(runs)
+        ],
+        jobs=jobs,
+        initializer=_install_context,
+        initargs=(ctx,),
+    )
+    return _merge_runs([s.value for s in schemes], per_run)
 
 
 def run_scheduler_comparison(
@@ -202,24 +290,17 @@ def run_scheduler_comparison(
     placement: Tuple,
     runs: int = DEFAULT_RUNS,
     frames: int = DEFAULT_FRAMES,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, List[float]]]:
     """Optimized scheduler vs round-robin (both with optimized multicast)."""
-    results: Dict[str, Dict[str, List[float]]] = {
-        kind.value: {"ssim": [], "psnr": []} for kind in SchedulerKind
-    }
-    for run in range(runs):
-        run_seed = 2000 + 13 * run
-        trace = _trace_for_placement(ctx, num_users, placement, run_seed)
-        for kind in SchedulerKind:
-            config = ctx.config(scheduler=kind)
-            streamer = MulticastStreamer(
-                config, ctx.dnn, ctx.probes, ctx.scenario.channel_model,
-                seed=run_seed + 7,
-            )
-            outcome = streamer.stream_trace(trace, num_frames=frames)
-            results[kind.value]["ssim"].append(outcome.mean_ssim)
-            results[kind.value]["psnr"].append(outcome.mean_psnr_db)
-    return results
+    per_run = parallel_map(
+        _scheduler_run,
+        [(run, num_users, placement, frames) for run in range(runs)],
+        jobs=jobs,
+        initializer=_install_context,
+        initargs=(ctx,),
+    )
+    return _merge_runs([kind.value for kind in SchedulerKind], per_run)
 
 
 def run_ablation(
@@ -229,32 +310,60 @@ def run_ablation(
     placement: Tuple,
     runs: int = DEFAULT_RUNS,
     frames: int = DEFAULT_FRAMES,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, List[float]]]:
     """On/off comparison along ``'source_coding'`` or ``'rate_control'``."""
     if axis not in ("source_coding", "rate_control"):
         raise EmulationError(f"unknown ablation axis {axis!r}")
-    results: Dict[str, Dict[str, List[float]]] = {
-        f"with_{axis}": {"ssim": [], "psnr": []},
-        f"without_{axis}": {"ssim": [], "psnr": []},
-    }
-    for run in range(runs):
-        run_seed = 3000 + 29 * run
-        trace = _trace_for_placement(ctx, num_users, placement, run_seed)
-        for enabled in (True, False):
-            config = ctx.config(**{axis: enabled})
-            streamer = MulticastStreamer(
-                config, ctx.dnn, ctx.probes, ctx.scenario.channel_model,
-                seed=run_seed + 7,
-            )
-            outcome = streamer.stream_trace(trace, num_frames=frames)
-            key = f"with_{axis}" if enabled else f"without_{axis}"
-            results[key]["ssim"].append(outcome.mean_ssim)
-            results[key]["psnr"].append(outcome.mean_psnr_db)
-    return results
+    per_run = parallel_map(
+        _ablation_run,
+        [(run, axis, num_users, placement, frames) for run in range(runs)],
+        jobs=jobs,
+        initializer=_install_context,
+        initargs=(ctx,),
+    )
+    return _merge_runs([f"with_{axis}", f"without_{axis}"], per_run)
 
 
 #: The four approaches of the mobile comparison (Sec 4.3.4).
 MOBILE_APPROACHES = ("realtime_update", "no_update", "robust_mpc", "fast_mpc")
+
+
+def _mobile_run(args) -> Tuple[str, List[float]]:
+    """One approach's mean-over-users SSIM series (worker task)."""
+    approach, trace, num_users, num_frames, seed = args
+    ctx = _WORKER_CTX
+    if approach in ("realtime_update", "no_update"):
+        policy = (
+            AdaptationPolicy.REALTIME_UPDATE
+            if approach == "realtime_update"
+            else AdaptationPolicy.NO_UPDATE
+        )
+        config = ctx.config(adaptation=policy)
+        streamer = MulticastStreamer(
+            config, ctx.dnn, ctx.probes, ctx.scenario.channel_model, seed=seed + 7
+        )
+        outcome = streamer.stream_trace(trace, num_frames=num_frames)
+    else:
+        factory = RobustMpc if approach == "robust_mpc" else FastMpc
+        outcome = simulate_abr_session(
+            factory,
+            trace,
+            ctx.scenario.channel_model,
+            ctx.rate_quality(),
+            ctx.freeze_model(),
+            num_frames=num_frames,
+            fps=ctx.base_config.fps,
+            rate_scale=ctx.base_config.rate_scale,
+            seed=seed + 7,
+        )
+    per_frame = np.zeros(num_frames)
+    for user in range(num_users):
+        user_series = outcome.ssim_series(user)
+        per_frame[: len(user_series)] += np.asarray(
+            user_series[:num_frames]
+        ) / num_users
+    return approach, per_frame.tolist()
 
 
 def run_mobile_comparison(
@@ -266,6 +375,7 @@ def run_mobile_comparison(
     approaches: Sequence[str] = MOBILE_APPROACHES,
     seed: int = 0,
     arc_distance_m: float = 5.0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, List[float]]:
     """Mean-over-users SSIM time series per approach on one shared trace.
 
@@ -280,6 +390,7 @@ def run_mobile_comparison(
         seed: Trace seed — all approaches replay the identical trace, the
             point of trace-driven evaluation.
         arc_distance_m: User distance for the 'env' regime.
+        jobs: Worker processes (approaches fan out; ``REPRO_JOBS`` default).
     """
     if regime == "env":
         trace = ctx.scenario.moving_environment_trace(
@@ -292,37 +403,14 @@ def run_mobile_comparison(
         )
     num_frames = int(duration_s * ctx.base_config.fps)
 
-    series: Dict[str, List[float]] = {}
-    for approach in approaches:
-        if approach in ("realtime_update", "no_update"):
-            policy = (
-                AdaptationPolicy.REALTIME_UPDATE
-                if approach == "realtime_update"
-                else AdaptationPolicy.NO_UPDATE
-            )
-            config = ctx.config(adaptation=policy)
-            streamer = MulticastStreamer(
-                config, ctx.dnn, ctx.probes, ctx.scenario.channel_model, seed=seed + 7
-            )
-            outcome = streamer.stream_trace(trace, num_frames=num_frames)
-        else:
-            factory = RobustMpc if approach == "robust_mpc" else FastMpc
-            outcome = simulate_abr_session(
-                factory,
-                trace,
-                ctx.scenario.channel_model,
-                ctx.rate_quality(),
-                ctx.freeze_model(),
-                num_frames=num_frames,
-                fps=ctx.base_config.fps,
-                rate_scale=ctx.base_config.rate_scale,
-                seed=seed + 7,
-            )
-        per_frame = np.zeros(num_frames)
-        for user in range(num_users):
-            user_series = outcome.ssim_series(user)
-            per_frame[: len(user_series)] += np.asarray(
-                user_series[:num_frames]
-            ) / num_users
-        series[approach] = per_frame.tolist()
-    return series
+    per_approach = parallel_map(
+        _mobile_run,
+        [
+            (approach, trace, num_users, num_frames, seed)
+            for approach in approaches
+        ],
+        jobs=jobs,
+        initializer=_install_context,
+        initargs=(ctx,),
+    )
+    return {approach: series for approach, series in per_approach}

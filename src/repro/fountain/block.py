@@ -10,7 +10,8 @@ time minimum of Fig 2 and fits an 802.11ad A-MSDU).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from itertools import accumulate
+from typing import ClassVar, Dict, Iterable, List, Tuple
 
 import numpy as np
 
@@ -39,7 +40,11 @@ class CodingUnitId:
     layer: int
     sublayer: int
 
-    _SUBLAYER_BASE: Tuple[int, ...] = (0, 3, 7, 23)  # cumulative sublayer counts
+    #: Cumulative sublayer counts per layer; a ClassVar so it stays out of
+    #: the generated __init__ and order=True comparisons.
+    _SUBLAYER_BASE: ClassVar[Tuple[int, ...]] = tuple(
+        accumulate((0,) + SUBLAYER_COUNTS[:-1])
+    )
 
     def __post_init__(self) -> None:
         if not 0 <= self.layer < NUM_LAYERS:

@@ -3,6 +3,19 @@
 The Galois field GF(2^8) with the AES/RaptorQ-standard primitive polynomial
 ``x^8 + x^4 + x^3 + x^2 + 1`` (0x11D generator tables).  Multiplication uses
 log/antilog tables so whole symbol rows multiply in one vectorised lookup.
+
+Zero handling uses the log-table sentinel trick: ``log[0]`` maps to a
+sentinel index past every reachable nonzero sum, and the antilog table is
+zero from that region onward, so ``exp[log[a] + log[b]]`` is correct for all
+inputs — including zeros — with a single gather and no boolean masks.
+
+A dense 256x256 product table (:data:`_MUL`, 64 KiB) drives the matrix
+kernels: one fancy-indexed gather per source column replaces the
+log-add-antilog round trip, which is what makes batched encoding fast.
+
+The ``*_reference`` functions preserve the original (pre-optimization)
+mask-based implementations; the seed-path benchmarks time against them so
+speedup numbers in ``BENCH_PERF.json`` compare like with like.
 """
 
 from __future__ import annotations
@@ -16,10 +29,16 @@ from ..errors import FountainCodeError
 #: The field's primitive polynomial (0x11D) reduced modulo x^8.
 _PRIMITIVE_POLY = 0x1D
 
+#: Sentinel log value for zero: past 2*254, so any sum involving it lands in
+#: the zero region of the antilog table.
+_LOG_ZERO = 510
+
 
 def _build_tables() -> Tuple[np.ndarray, np.ndarray]:
-    exp = np.zeros(512, dtype=np.int32)
-    log = np.zeros(256, dtype=np.int32)
+    # exp covers indices up to 2 * _LOG_ZERO; everything at or beyond
+    # _LOG_ZERO stays zero so zero operands fall through without masking.
+    exp = np.zeros(2 * _LOG_ZERO + 1, dtype=np.uint8)
+    log = np.full(256, _LOG_ZERO, dtype=np.int32)
     x = 1
     for i in range(255):
         exp[i] = x
@@ -33,12 +52,28 @@ def _build_tables() -> Tuple[np.ndarray, np.ndarray]:
 
 _EXP, _LOG = _build_tables()
 
+#: Dense product table: ``_MUL[a, b]`` is the GF(256) product of a and b.
+_MUL = _EXP[_LOG[:, None] + _LOG[None, :]]
+
+#: Seed-era tables (log[0] = 0, 512-entry antilog) kept for the reference
+#: implementations below.
+_EXP_REF = np.zeros(512, dtype=np.int32)
+_EXP_REF[:510] = _EXP[:510]
+_LOG_REF = np.where(np.arange(256) == 0, 0, _LOG).astype(np.int32)
+
 
 def gf_multiply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Element-wise GF(256) product of two uint8 arrays (broadcasting)."""
     a = np.asarray(a, dtype=np.uint8)
     b = np.asarray(b, dtype=np.uint8)
-    result = _EXP[_LOG[a.astype(np.int32)] + _LOG[b.astype(np.int32)]]
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def gf_multiply_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pre-sentinel gf_multiply (explicit zero masks); seed-path baseline."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    result = _EXP_REF[_LOG_REF[a.astype(np.int32)] + _LOG_REF[b.astype(np.int32)]]
     zero = (a == 0) | (b == 0)
     return np.where(zero, 0, result).astype(np.uint8)
 
@@ -52,20 +87,43 @@ def gf_inverse(a: int) -> int:
 
 def gf_scale_row(row: np.ndarray, factor: int) -> np.ndarray:
     """Multiply a uint8 row by a scalar field element."""
+    row = np.asarray(row, dtype=np.uint8)
     if factor == 0:
         return np.zeros_like(row)
     if factor == 1:
         return row.copy()
-    shift = _LOG[factor]
-    result = _EXP[_LOG[row.astype(np.int32)] + shift]
-    return np.where(row == 0, 0, result).astype(np.uint8)
+    return _EXP[_LOG[row] + _LOG[factor]]
 
 
 def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """GF(256) matrix product of uint8 matrices ``(m, k) @ (k, n)``.
 
     Used for encoding: coefficient rows times the source-symbol matrix.
+    One product-table gather per source column, XOR-accumulated, so a whole
+    batch of coded symbols costs the same Python overhead as a single one.
     """
+    a = np.atleast_2d(np.asarray(a, dtype=np.uint8))
+    b = np.atleast_2d(np.asarray(b, dtype=np.uint8))
+    if a.shape[1] != b.shape[0]:
+        raise FountainCodeError(f"shape mismatch: {a.shape} @ {b.shape}")
+    if a.shape[0] == 1:
+        # Row-vector product (the decoder's elimination steps): one (k, n)
+        # table gather + XOR reduction instead of a k-iteration Python loop.
+        if a.shape[1] == 0:
+            return np.zeros((1, b.shape[1]), dtype=np.uint8)
+        products = _MUL[a[0][:, None], b]
+        return np.bitwise_xor.reduce(products, axis=0, keepdims=True)
+    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
+    for j in range(a.shape[1]):
+        column = a[:, j]
+        if not column.any():
+            continue
+        out ^= _MUL[column[:, None], b[j][None, :]]
+    return out
+
+
+def gf_matmul_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pre-optimization gf_matmul (mask-based per-column products)."""
     a = np.atleast_2d(np.asarray(a, dtype=np.uint8))
     b = np.atleast_2d(np.asarray(b, dtype=np.uint8))
     if a.shape[1] != b.shape[0]:
@@ -76,7 +134,7 @@ def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
         nonzero = np.nonzero(column)[0]
         if nonzero.size == 0:
             continue
-        products = gf_multiply(column[nonzero, None], b[j][None, :])
+        products = gf_multiply_reference(column[nonzero, None], b[j][None, :])
         out[nonzero] ^= products
     return out
 

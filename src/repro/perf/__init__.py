@@ -1,0 +1,52 @@
+"""Performance layer: parallel execution, perf-mode switch, bench timing.
+
+``repro.perf`` concentrates everything that makes the reproduction fast
+without changing results:
+
+* :mod:`repro.perf.parallel` — the ``REPRO_JOBS`` process-pool engine the
+  emulation runners fan out on (deterministic at any job count).
+* :mod:`repro.perf.mode` — the seed-path/optimized-path switch used by the
+  benchmark harness to time the original implementations against the
+  batched ones inside one process.
+* :mod:`repro.perf.timing` — stopwatch/throughput helpers plus the
+  ``BENCH_PERF.json`` report writer.
+* :mod:`repro.perf.encode` — per-frame jigsaw encode fan-out (imported
+  lazily by callers; not re-exported here to keep import cycles impossible
+  from the fountain layer).
+"""
+
+from .mode import (
+    OPTIMIZED_MODE,
+    SEED_MODE,
+    get_perf_mode,
+    perf_mode,
+    seed_path_active,
+    set_perf_mode,
+)
+from .parallel import JOBS_ENV_VAR, effective_jobs, parallel_map
+from .timing import (
+    Stopwatch,
+    read_bench_report,
+    speedup,
+    throughput,
+    time_call,
+    write_bench_report,
+)
+
+__all__ = [
+    "OPTIMIZED_MODE",
+    "SEED_MODE",
+    "get_perf_mode",
+    "perf_mode",
+    "seed_path_active",
+    "set_perf_mode",
+    "JOBS_ENV_VAR",
+    "effective_jobs",
+    "parallel_map",
+    "Stopwatch",
+    "read_bench_report",
+    "speedup",
+    "throughput",
+    "time_call",
+    "write_bench_report",
+]

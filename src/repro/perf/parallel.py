@@ -1,0 +1,107 @@
+"""Process-pool execution engine for the emulation and encode fan-outs.
+
+The emulation runners replay many independent, individually-seeded runs;
+this module fans them across cores with deterministic results:
+
+* Worker count comes from the explicit ``jobs`` argument, else the
+  ``REPRO_JOBS`` environment variable, else 1 (serial).  ``jobs <= 0``
+  means "all cores".
+* ``jobs=1`` short-circuits to a plain in-process loop — no pool, no
+  pickling — so the serial path stays the trivially-debuggable one.
+* Results always come back in submission order, and every task carries its
+  own seed, so ``jobs=1`` and ``jobs=N`` produce identical output.
+
+Workers prefer the ``fork`` start method when the platform offers it: the
+heavyweight shared state (trained DNN, probe frames) is inherited
+copy-on-write instead of being pickled per task.  An ``initializer`` hook
+covers spawn-only platforms; the serial path invokes it in-process so the
+same worker functions run unchanged at any job count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from ..errors import ConfigurationError
+
+#: Environment variable overriding the default worker count.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def effective_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count from the argument or ``REPRO_JOBS``.
+
+    ``None`` defers to the environment (default 1 — serial); values <= 0
+    mean "use every core".
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"{JOBS_ENV_VAR} must be an integer, got {raw!r}"
+            ) from exc
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return int(jobs)
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    jobs: Optional[int] = None,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Sequence = (),
+) -> List[_R]:
+    """Map ``fn`` over ``items``, optionally across a process pool.
+
+    Args:
+        fn: Top-level (picklable) function of one argument.
+        items: Work items; each must be picklable when ``jobs > 1``.
+        jobs: Worker count (see :func:`effective_jobs`).
+        initializer: Per-worker setup hook (e.g. installing shared context);
+            called in-process when running serially.
+        initargs: Arguments for ``initializer``.
+
+    Returns:
+        Results in the order of ``items``.  Exceptions in any task
+        propagate to the caller.
+    """
+    work = list(items)
+    count = effective_jobs(jobs)
+    if work:
+        count = min(count, len(work))
+    if count <= 1:
+        if initializer is not None:
+            initializer(*initargs)
+        return [fn(item) for item in work]
+    mp_context = _pool_context()
+    if initializer is not None and mp_context.get_start_method() == "fork":
+        # Forked workers inherit parent globals copy-on-write: run the
+        # initializer here once instead of pickling initargs (which may
+        # hold many megabytes of shared context) into every worker.
+        initializer(*initargs)
+        initializer, initargs = None, ()
+    with ProcessPoolExecutor(
+        max_workers=count,
+        mp_context=mp_context,
+        initializer=initializer,
+        initargs=tuple(initargs),
+    ) as pool:
+        return list(pool.map(fn, work))

@@ -1,0 +1,65 @@
+"""Timing and reporting primitives for the perf benchmark harness.
+
+Small, dependency-free helpers so ``benchmarks/bench_perf_pipeline.py`` and
+future perf-sensitive benchmarks share one vocabulary: wall-clock stopwatch,
+throughput computation, and the ``BENCH_PERF.json`` report writer that later
+PRs diff against to defend the perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Tuple, TypeVar
+
+_R = TypeVar("_R")
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating wall-clock timer (``perf_counter`` based)."""
+
+    elapsed_s: float = 0.0
+    _started: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Stopwatch":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed_s += time.perf_counter() - self._started
+
+
+def time_call(fn: Callable[[], _R]) -> Tuple[_R, float]:
+    """Run ``fn`` once and return ``(result, wall_seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def throughput(units: float, seconds: float) -> float:
+    """Units per second, guarding the zero-duration corner."""
+    if seconds <= 0.0:
+        return float("inf")
+    return units / seconds
+
+
+def speedup(baseline_s: float, optimized_s: float) -> float:
+    """Wall-clock ratio ``baseline / optimized`` (>1 means faster)."""
+    if optimized_s <= 0.0:
+        return float("inf")
+    return baseline_s / optimized_s
+
+
+def write_bench_report(path: Path, payload: Dict[str, Any]) -> Path:
+    """Write a benchmark report as stable, diff-friendly JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_bench_report(path: Path) -> Dict[str, Any]:
+    """Load a previously written report (perf-trajectory comparisons)."""
+    return json.loads(Path(path).read_text())

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..errors import TransportError
 from ..fountain.block import CodingUnitId, FrameBlockDecoder, FrameBlockEncoder
+from ..perf.mode import seed_path_active
 from ..phy.channel import ChannelState
 from ..scheduling.coding_groups import UnitAssignment
 from ..scheduling.groups import CandidateGroup
@@ -151,9 +152,16 @@ class FrameTransmitter:
         state = _TxState(clock_s=0.0, packets_sent=0, dropped_at_queue=0)
         plan = self._expand_assignments(encoder, assignments, groups)
 
+        # Delivery probabilities are deterministic per group within a frame
+        # (fixed beam, MCS and true channel), so memoize them across plan
+        # entries and feedback rounds; the seed path recomputes every time.
+        prob_cache: Optional[Dict[int, Dict[int, float]]] = (
+            None if seed_path_active() else {}
+        )
+
         if self.rate_control:
             self._paced_pass(plan, groups, rates, true_state, receptions,
-                             packet_bytes, budget_s, state, rng)
+                             packet_bytes, budget_s, state, rng, prob_cache)
         else:
             self._burst_pass(plan, groups, rates, true_state, receptions,
                              packet_bytes, budget_s, state, rng)
@@ -168,7 +176,7 @@ class FrameTransmitter:
                 break
             rounds += 1
             self._paced_pass(makeup, groups, rates, true_state, receptions,
-                             packet_bytes, budget_s, state, rng)
+                             packet_bytes, budget_s, state, rng, prob_cache)
 
         return TransmissionResult(
             receptions=receptions,
@@ -254,7 +262,7 @@ class FrameTransmitter:
 
     def _paced_pass(
         self, plan, groups, rates, true_state, receptions,
-        packet_bytes, budget_s, state, rng,
+        packet_bytes, budget_s, state, rng, prob_cache=None,
     ) -> None:
         last_group = -1
         for group_index, _unit, symbols in plan:
@@ -266,7 +274,13 @@ class FrameTransmitter:
             if group_index != last_group:
                 state.clock_s += GROUP_SWITCH_OVERHEAD_S
                 last_group = group_index
-            probs = self._member_probs(group, true_state, receptions)
+            if prob_cache is None:
+                probs = self._member_probs(group, true_state, receptions)
+            elif group_index in prob_cache:
+                probs = prob_cache[group_index]
+            else:
+                probs = self._member_probs(group, true_state, receptions)
+                prob_cache[group_index] = probs
             airtime = packet_bytes / rates[group_index]
             draws = rng.random((len(symbols), len(probs)))
             for s_idx, symbol in enumerate(symbols):

@@ -15,11 +15,13 @@ features:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..perf.mode import seed_path_active
 from ..types import NUM_LAYERS, validate_seed
 from .frame import VideoFrame, blank_frame
 from .jigsaw import JigsawCodec, LayeredFrame
@@ -43,6 +45,14 @@ class FrameQualityProbe:
     layered: LayeredFrame
     cumulative_ssim: np.ndarray
     blank_ssim: float
+    #: Memoized mask-reception measurements: receivers in one multicast group
+    #: routinely decode identical sublayer sets, so repeated mask queries are
+    #: the common case in emulation.  LRU-bounded; skipped on the seed path.
+    _mask_cache: "OrderedDict[bytes, Tuple[float, float]]" = field(
+        default_factory=OrderedDict, repr=False, compare=False
+    )
+
+    _MASK_CACHE_LIMIT = 1024
 
     @classmethod
     def from_frame(cls, codec: JigsawCodec, frame: VideoFrame) -> "FrameQualityProbe":
@@ -78,8 +88,20 @@ class FrameQualityProbe:
         This is the emulation path: the transport reports exactly which
         sublayers each receiver decoded before the frame deadline.
         """
+        if seed_path_active():
+            decoded = self.codec.decode(self.layered, masks)
+            return ssim(self.reference, decoded), psnr(self.reference, decoded)
+        key = b"".join(np.asarray(m, dtype=bool).tobytes() for m in masks)
+        cached = self._mask_cache.get(key)
+        if cached is not None:
+            self._mask_cache.move_to_end(key)
+            return cached
         decoded = self.codec.decode(self.layered, masks)
-        return ssim(self.reference, decoded), psnr(self.reference, decoded)
+        result = (ssim(self.reference, decoded), psnr(self.reference, decoded))
+        self._mask_cache[key] = result
+        while len(self._mask_cache) > self._MASK_CACHE_LIMIT:
+            self._mask_cache.popitem(last=False)
+        return result
 
     def sample(self, fractions: Sequence[float]) -> Tuple[np.ndarray, float]:
         """One (features, SSIM) training sample."""

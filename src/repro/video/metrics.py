@@ -29,45 +29,66 @@ PSNR_CAP_DB = 100.0
 _PlaneOrFrame = Union[np.ndarray, VideoFrame]
 
 
-def _as_luma(image: _PlaneOrFrame) -> np.ndarray:
-    """Extract a float64 luma plane from a frame or a raw 2-D array."""
+def _as_luma(image: _PlaneOrFrame, dtype=np.float64) -> np.ndarray:
+    """Extract a float luma plane from a frame or a raw 2-D array."""
     if isinstance(image, VideoFrame):
         plane = image.y
     else:
         plane = np.asarray(image)
         if plane.ndim != 2:
             raise VideoFormatError(f"expected a 2-D plane, got {plane.ndim}-D")
-    return plane.astype(np.float64)
+    return plane.astype(dtype)
 
 
-def ssim(reference: _PlaneOrFrame, distorted: _PlaneOrFrame) -> float:
+def ssim(
+    reference: _PlaneOrFrame, distorted: _PlaneOrFrame, dtype=np.float32
+) -> float:
     """Mean SSIM between two frames (luma plane).
+
+    All five Gaussian-filter passes run on ``dtype`` planes (float32 by
+    default — the filters are memory-bound, so halving the element width
+    roughly doubles throughput) into one preallocated output buffer.
+    float32 agrees with float64 to well under 1e-4 on 8-bit content; pass
+    ``dtype=np.float64`` to reproduce the double-precision value.
 
     Args:
         reference: Ground-truth frame or Y plane.
         distorted: Reconstructed frame or Y plane, same shape.
+        dtype: Working precision of the filter passes.
 
     Returns:
         Mean SSIM over the frame, in ``[-1, 1]`` (1 means identical).
     """
-    ref = _as_luma(reference)
-    dist = _as_luma(distorted)
+    ref = _as_luma(reference, dtype)
+    dist = _as_luma(distorted, dtype)
     if ref.shape != dist.shape:
         raise VideoFormatError(f"shape mismatch: {ref.shape} vs {dist.shape}")
 
-    mu_x = gaussian_filter(ref, _SSIM_SIGMA)
-    mu_y = gaussian_filter(dist, _SSIM_SIGMA)
+    # One buffer for all five filtered planes: mu_x, mu_y, E[x^2], E[y^2],
+    # E[xy]; plus one scratch plane for the products being filtered.
+    filtered = np.empty((5,) + ref.shape, dtype=dtype)
+    scratch = np.empty_like(ref)
+    gaussian_filter(ref, _SSIM_SIGMA, output=filtered[0])
+    gaussian_filter(dist, _SSIM_SIGMA, output=filtered[1])
+    np.multiply(ref, ref, out=scratch)
+    gaussian_filter(scratch, _SSIM_SIGMA, output=filtered[2])
+    np.multiply(dist, dist, out=scratch)
+    gaussian_filter(scratch, _SSIM_SIGMA, output=filtered[3])
+    np.multiply(ref, dist, out=scratch)
+    gaussian_filter(scratch, _SSIM_SIGMA, output=filtered[4])
+
+    mu_x, mu_y, e_xx, e_yy, e_xy = filtered
     mu_x2 = mu_x * mu_x
     mu_y2 = mu_y * mu_y
     mu_xy = mu_x * mu_y
 
-    sigma_x2 = gaussian_filter(ref * ref, _SSIM_SIGMA) - mu_x2
-    sigma_y2 = gaussian_filter(dist * dist, _SSIM_SIGMA) - mu_y2
-    sigma_xy = gaussian_filter(ref * dist, _SSIM_SIGMA) - mu_xy
+    sigma_x2 = e_xx - mu_x2
+    sigma_y2 = e_yy - mu_y2
+    sigma_xy = e_xy - mu_xy
 
     numerator = (2.0 * mu_xy + _C1) * (2.0 * sigma_xy + _C2)
     denominator = (mu_x2 + mu_y2 + _C1) * (sigma_x2 + sigma_y2 + _C2)
-    return float(np.mean(numerator / denominator))
+    return float(np.mean(numerator / denominator, dtype=np.float64))
 
 
 def psnr(reference: _PlaneOrFrame, distorted: _PlaneOrFrame) -> float:

@@ -92,3 +92,28 @@ class TestRunners:
         assert set(series) == {"realtime_update", "fast_mpc"}
         assert len(series["realtime_update"]) == 15
         assert all(0 <= v <= 1 for v in series["fast_mpc"])
+
+
+class TestParallelDeterminism:
+    """Fan-out and perf-mode must never change experiment results."""
+
+    def test_jobs_do_not_change_results(self, ctx):
+        serial = run_scheduler_comparison(
+            ctx, 2, ("arc", 3, 60), runs=2, frames=2, jobs=1
+        )
+        fanned = run_scheduler_comparison(
+            ctx, 2, ("arc", 3, 60), runs=2, frames=2, jobs=4
+        )
+        assert serial == fanned
+
+    def test_seed_path_metrics_identical(self, ctx):
+        from repro.perf import perf_mode
+
+        optimized = run_scheduler_comparison(
+            ctx, 2, ("arc", 3, 60), runs=1, frames=2, jobs=1
+        )
+        with perf_mode("seed"):
+            reference = run_scheduler_comparison(
+                ctx, 2, ("arc", 3, 60), runs=1, frames=2, jobs=1
+            )
+        assert optimized == reference

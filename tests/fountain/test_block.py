@@ -36,6 +36,20 @@ class TestCodingUnitId:
         with pytest.raises(FountainCodeError):
             CodingUnitId(0, 1, 4)
 
+    def test_sublayer_base_derived_from_counts(self):
+        from dataclasses import fields
+
+        from repro.video.jigsaw import SUBLAYER_COUNTS
+
+        expected = []
+        total = 0
+        for count in SUBLAYER_COUNTS:
+            expected.append(total)
+            total += count
+        assert CodingUnitId._SUBLAYER_BASE == tuple(expected) == (0, 3, 7, 23)
+        # A ClassVar, not a per-instance dataclass field.
+        assert "_SUBLAYER_BASE" not in {f.name for f in fields(CodingUnitId)}
+
 
 class TestSymbolSizing:
     def test_small_resolution_keeps_20_symbols(self):

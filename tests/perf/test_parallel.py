@@ -1,0 +1,148 @@
+"""Tests for the perf package: mode switch, job resolution, parallel_map."""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf import (
+    JOBS_ENV_VAR,
+    OPTIMIZED_MODE,
+    SEED_MODE,
+    Stopwatch,
+    effective_jobs,
+    get_perf_mode,
+    parallel_map,
+    perf_mode,
+    read_bench_report,
+    seed_path_active,
+    set_perf_mode,
+    speedup,
+    throughput,
+    time_call,
+    write_bench_report,
+)
+
+# parallel_map workers must be importable top-level functions.
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("three")
+    return x
+
+
+_INIT_STATE = {"value": None}
+
+
+def _set_state(value):
+    _INIT_STATE["value"] = value
+
+
+def _read_state(_):
+    return _INIT_STATE["value"]
+
+
+class TestPerfMode:
+    def test_default_is_optimized(self):
+        assert get_perf_mode() == OPTIMIZED_MODE
+        assert not seed_path_active()
+
+    def test_context_manager_restores(self):
+        with perf_mode(SEED_MODE):
+            assert seed_path_active()
+            with perf_mode(OPTIMIZED_MODE):
+                assert not seed_path_active()
+            assert seed_path_active()
+        assert not seed_path_active()
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            set_perf_mode("fast")
+
+
+class TestEffectiveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert effective_jobs(None) == 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "3")
+        assert effective_jobs(None) == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "3")
+        assert effective_jobs(2) == 2
+
+    def test_nonpositive_means_all_cores(self):
+        assert effective_jobs(0) == (os.cpu_count() or 1)
+        assert effective_jobs(-1) == (os.cpu_count() or 1)
+
+    def test_bad_env_raises(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "many")
+        with pytest.raises(ConfigurationError):
+            effective_jobs(None)
+
+
+class TestParallelMap:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_preserves_order(self, jobs):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=jobs) == [x * x for x in items]
+
+    def test_serial_and_parallel_agree(self):
+        items = list(range(12))
+        assert parallel_map(_square, items, jobs=1) == parallel_map(
+            _square, items, jobs=3
+        )
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_exceptions_propagate(self, jobs):
+        with pytest.raises(ValueError, match="three"):
+            parallel_map(_fail_on_three, [1, 2, 3, 4], jobs=jobs)
+
+    def test_serial_runs_initializer_in_process(self):
+        _INIT_STATE["value"] = None
+        result = parallel_map(
+            _read_state, [0, 0], jobs=1, initializer=_set_state, initargs=(7,)
+        )
+        assert result == [7, 7]
+        assert _INIT_STATE["value"] == 7
+
+    def test_workers_see_initializer_state(self):
+        _INIT_STATE["value"] = None
+        result = parallel_map(
+            _read_state, [0, 0, 0], jobs=2, initializer=_set_state, initargs=(9,)
+        )
+        assert result == [9, 9, 9]
+
+
+class TestTiming:
+    def test_time_call_returns_result(self):
+        result, seconds = time_call(lambda: 5)
+        assert result == 5
+        assert seconds >= 0.0
+
+    def test_stopwatch_accumulates(self):
+        watch = Stopwatch()
+        for _ in range(2):
+            with watch:
+                pass
+        assert watch.elapsed_s >= 0.0
+
+    def test_throughput_and_speedup(self):
+        assert throughput(10, 2.0) == pytest.approx(5.0)
+        assert speedup(4.0, 2.0) == pytest.approx(2.0)
+
+    def test_report_roundtrip(self, tmp_path):
+        path = tmp_path / "bench.json"
+        payload = {"stages": {"x": 1}, "nested": {"b": [1, 2]}}
+        write_bench_report(path, payload)
+        assert read_bench_report(path) == payload

@@ -54,6 +54,18 @@ class TestSsim:
         blank = blank_frame(frame.height, frame.width)
         assert ssim(frame, blank) < 0.4
 
+    def test_float32_matches_float64(self, rng, hr_video):
+        # The default float32 working precision must agree with a full
+        # float64 computation far beyond the 3-decimal reporting precision.
+        pairs = [
+            (_image(rng), _image(rng)),
+            (hr_video.frame(0), hr_video.frame(1)),
+        ]
+        for reference, distorted in pairs:
+            fast = ssim(reference, distorted, dtype=np.float32)
+            exact = ssim(reference, distorted, dtype=np.float64)
+            assert fast == pytest.approx(exact, abs=1e-4)
+
 
 class TestPsnr:
     def test_identical_images_hit_cap(self, rng):
