@@ -5,8 +5,6 @@ retransmission to multiple receivers is inefficient and overlapping
 multicast groups deliver redundant segments; variance also grows.
 """
 
-import numpy as np
-
 from repro.emulation import run_ablation
 
 from conftest import BENCH_FRAMES, BENCH_RUNS, run_once

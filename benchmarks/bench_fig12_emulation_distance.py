@@ -38,7 +38,7 @@ def test_fig12_distance_x_users(benchmark, ctx):
         print(f"{distance:>8}m " + " ".join(f"{row[n]:>8.3f}" for n in users))
 
     spreads = {d: max(row.values()) - min(row.values()) for d, row in table.items()}
-    print(f"\nspread across user counts: "
+    print("\nspread across user counts: "
           + ", ".join(f"{d}m: {s:.3f}" for d, s in spreads.items())
           + " (paper: 0.01 -> 0.03 growing with distance)")
     # Quality must stay usable everywhere (graceful degradation).

@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""CI perf-regression gate: diff a candidate benchmark report vs a baseline.
+
+Compares the throughput metrics of a fresh ``bench_perf_pipeline.py`` run
+(the *candidate*) against a committed baseline report and fails — exit
+code 1 — when any stage regresses by more than the tolerance (default
+30%, generous because shared CI runners are noisy).  Improvements never
+fail the gate.  The full comparison is written as a JSON artifact so a
+failing run can be inspected without re-running the benchmark.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_pipeline.py --quick \
+        --output bench_candidate.json
+    python benchmarks/perf_gate.py --baseline BENCH_PERF_QUICK.json \
+        --candidate bench_candidate.json --output perf_gate_report.json
+
+``--inject-slowdown 2.0`` divides every candidate throughput by the given
+factor before comparing — a self-test hook proving the gate actually
+fails on a regression (used by the test suite and documented in CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Throughput metrics defended by the gate, as (stage, key) paths into the
+#: benchmark report.  All are higher-is-better rates.
+GATED_METRICS = (
+    ("jigsaw_encode", "fps_serial"),
+    ("fountain_encode", "batched_warm_msymbols_per_s"),
+    ("fountain_decode", "incremental_msymbols_per_s"),
+    ("ssim", "frames_per_s_float32"),
+    ("emulation", "optimized_runs_per_s"),
+)
+
+#: Correctness booleans that must hold in the candidate regardless of speed.
+REQUIRED_FLAGS = (
+    ("emulation", "metrics_identical"),
+    ("emulation", "decoded_frames_identical"),
+)
+
+DEFAULT_TOLERANCE = 0.30
+
+
+def load_report(path: Path) -> dict:
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def extract_metrics(report: dict, slowdown: float = 1.0) -> dict:
+    """Pull the gated throughput metrics out of a benchmark report."""
+    stages = report.get("stages", {})
+    metrics = {}
+    for stage, key in GATED_METRICS:
+        value = stages.get(stage, {}).get(key)
+        if value is not None:
+            metrics[f"{stage}.{key}"] = float(value) / slowdown
+    return metrics
+
+
+def compare(
+    baseline: dict,
+    candidate: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    slowdown: float = 1.0,
+) -> dict:
+    """Build the gate verdict comparing two benchmark reports.
+
+    Returns a JSON-serializable dict with one row per gated metric
+    (baseline/candidate values, ratio, pass/fail) plus the overall verdict.
+    A metric present in the baseline but missing from the candidate fails
+    the gate — silently dropping a stage must not read as a pass.
+    """
+    base_metrics = extract_metrics(baseline)
+    cand_metrics = extract_metrics(candidate, slowdown=slowdown)
+    floor = 1.0 - tolerance
+
+    rows = []
+    for name, base_value in sorted(base_metrics.items()):
+        cand_value = cand_metrics.get(name)
+        if cand_value is None:
+            rows.append({
+                "metric": name,
+                "baseline": base_value,
+                "candidate": None,
+                "ratio": None,
+                "ok": False,
+                "note": "missing from candidate report",
+            })
+            continue
+        ratio = cand_value / base_value if base_value else float("inf")
+        rows.append({
+            "metric": name,
+            "baseline": base_value,
+            "candidate": cand_value,
+            "ratio": ratio,
+            "ok": ratio >= floor,
+            "note": "",
+        })
+
+    flags = []
+    cand_stages = candidate.get("stages", {})
+    for stage, key in REQUIRED_FLAGS:
+        value = cand_stages.get(stage, {}).get(key)
+        flags.append({"flag": f"{stage}.{key}", "value": value, "ok": bool(value)})
+
+    passed = all(r["ok"] for r in rows) and all(f["ok"] for f in flags)
+    return {
+        "schema": 1,
+        "tolerance": tolerance,
+        "injected_slowdown": slowdown,
+        "passed": passed,
+        "metrics": rows,
+        "flags": flags,
+        "baseline_host": baseline.get("host", {}),
+        "candidate_host": candidate.get("host", {}),
+    }
+
+
+def format_comparison(result: dict) -> str:
+    """Human-readable table of the gate verdict for the CI log."""
+    lines = [
+        f"perf gate (tolerance {result['tolerance']:.0%}, "
+        f"floor {1.0 - result['tolerance']:.2f}x baseline)"
+    ]
+    if result["injected_slowdown"] != 1.0:
+        lines.append(
+            f"  !! candidate slowed by x{result['injected_slowdown']:g} "
+            "(--inject-slowdown self-test)"
+        )
+    for row in result["metrics"]:
+        if row["candidate"] is None:
+            lines.append(
+                f"  FAIL {row['metric']:45} {row['note']}"
+            )
+            continue
+        status = "ok  " if row["ok"] else "FAIL"
+        lines.append(
+            f"  {status} {row['metric']:45} "
+            f"{row['baseline']:12.4f} -> {row['candidate']:12.4f} "
+            f"({row['ratio']:.2f}x)"
+        )
+    for flag in result["flags"]:
+        status = "ok  " if flag["ok"] else "FAIL"
+        lines.append(f"  {status} {flag['flag']:45} {flag['value']}")
+    lines.append("verdict: " + ("PASS" if result["passed"] else "FAIL"))
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--baseline", type=Path, required=True,
+        help="committed baseline benchmark report (JSON)",
+    )
+    parser.add_argument(
+        "--candidate", type=Path, required=True,
+        help="freshly generated benchmark report to judge",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed fractional throughput drop (default 0.30)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="write the full comparison as a JSON artifact",
+    )
+    parser.add_argument(
+        "--inject-slowdown", type=float, default=1.0, metavar="FACTOR",
+        help="divide candidate throughputs by FACTOR (gate self-test)",
+    )
+    args = parser.parse_args(argv)
+
+    result = compare(
+        load_report(args.baseline),
+        load_report(args.candidate),
+        tolerance=args.tolerance,
+        slowdown=args.inject_slowdown,
+    )
+    print(format_comparison(result))
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"comparison artifact: {args.output}")
+    return 0 if result["passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,7 @@ Two properties matter for the comparison with the layered system:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List
 
 import numpy as np
 

@@ -21,7 +21,7 @@ miss their live deadline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 
@@ -183,7 +183,7 @@ def simulate_abr_session(
     """
     if num_frames <= 0:
         raise ConfigurationError("num_frames must be positive")
-    rng = validate_seed(seed)
+    validate_seed(seed)
     users = trace.user_ids()
     if not users:
         raise ConfigurationError("trace has no users")

@@ -16,7 +16,7 @@ paper's measurements (Fig 5-7, 11-13).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

@@ -7,24 +7,28 @@ Examples::
     repro-wigig ablation --axis source_coding --users 3
     repro-wigig mobile --users 3 --moving 0 1 --regime low --duration 4
     repro-wigig quality-model --epochs 500
+    repro-wigig observe --users 3 --frames 6 --trace obs_trace.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
 
+from . import obs
+from .core import MulticastStreamer
 from .emulation import (
-    BoxStats,
     build_context,
     run_ablation,
     run_beamforming_comparison,
     run_mobile_comparison,
     run_scheduler_comparison,
 )
+from .emulation.runner import trace_for_placement
 from .emulation.stats import print_table, summarize
 
 
@@ -96,6 +100,52 @@ def _cmd_mobile(args) -> int:
     return 0
 
 
+def _cmd_observe(args) -> int:
+    """Run an instrumented scenario and print/save the observability report.
+
+    Everything runs serially in this process (``jobs=1``) so the trace is
+    complete — the observability registry is per-process and worker-pool
+    telemetry is not merged back.
+    """
+    obs.OBS.reset()
+    obs.configure(mode=args.mode, trace_path=str(args.trace))
+    # Build the context *after* enabling observability: reference probes are
+    # (re-)encoded here, so the encode.jigsaw stage lands in the trace.  Only
+    # the trained DNN is disk-cached, and that is not an instrumented stage.
+    ctx = build_context(seed=args.seed)
+    placement = _placement(args)
+    for run in range(args.runs):
+        run_seed = 9000 + 31 * run
+        trace = trace_for_placement(ctx, args.users, placement, run_seed)
+        with obs.OBS.span("emulation.run", run=run, frames=args.frames) as span:
+            streamer = MulticastStreamer(
+                ctx.config(),
+                ctx.dnn,
+                ctx.probes,
+                ctx.scenario.channel_model,
+                seed=run_seed + 7,
+            )
+            outcome = streamer.stream_trace(trace, num_frames=args.frames)
+            span.set(mean_ssim=outcome.mean_ssim)
+
+    report = obs.build_report(obs.OBS)
+    print(obs.format_report(report))
+    if obs.OBS.mode >= obs.TRACE:
+        path = obs.OBS.trace.flush()
+        print(f"trace written      : {path}")
+    if args.report is not None:
+        path = obs.write_report(report, args.report)
+        print(f"report written     : {path}")
+    missing = [
+        stage
+        for stage in obs.PIPELINE_STAGES
+        if stage not in report["stages"]
+    ]
+    if missing:
+        print(f"WARNING: stages without samples: {missing}")
+    return 0
+
+
 def _cmd_quality_model(args) -> int:
     from .quality import train_quality_models
 
@@ -152,6 +202,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--regime", choices=["high", "low", "env"], default="high")
     p.add_argument("--duration", type=float, default=3.0)
     p.set_defaults(func=_cmd_mobile)
+
+    p = sub.add_parser(
+        "observe",
+        help="run an instrumented scenario and emit the observability report",
+    )
+    common(p)
+    p.add_argument(
+        "--mode", choices=["counters", "trace"], default="trace",
+        help="observability level (default: trace)",
+    )
+    p.add_argument(
+        "--trace", type=Path, default=Path("repro_obs_trace.jsonl"),
+        help="JSONL trace destination (trace mode only)",
+    )
+    p.add_argument(
+        "--report", type=Path, default=None,
+        help="also save the aggregate report as JSON",
+    )
+    p.set_defaults(func=_cmd_observe, runs=1, frames=6)
 
     p = sub.add_parser("quality-model", help="train and evaluate Table 1 models")
     p.add_argument("--epochs", type=int, default=300)

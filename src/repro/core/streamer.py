@@ -20,8 +20,8 @@ import numpy as np
 
 from ..beamforming import GroupBeamPlanner, SectorCodebook
 from ..errors import ConfigurationError
+from ..obs import OBS
 from ..fountain.block import FrameBlockEncoder, symbol_size_for
-from ..phy.antenna import PhasedArray
 from ..phy.channel import ChannelModel
 from ..phy.csi import CsiTrace
 from ..quality.curves import FrameFeatureContext
@@ -81,6 +81,15 @@ class StreamOutcome:
         """Per-frame SSIM of one user, in frame order."""
         return [s.ssim for s in sorted(self.stats, key=lambda x: x.frame_index)
                 if s.user_id == user_id]
+
+
+@dataclass
+class _SessionState:
+    """Loop-carried planning state of one streaming session."""
+
+    bw_estimators: Dict[int, BandwidthEstimator]
+    allocation: Optional[AllocationResult] = None
+    last_plan_time: float = -np.inf
 
 
 class MulticastStreamer:
@@ -172,83 +181,115 @@ class MulticastStreamer:
             )
         users = trace.user_ids()
 
-        allocation: Optional[AllocationResult] = None
-        last_plan_time = -np.inf
-        bw_estimators = {u: BandwidthEstimator() for u in users}
+        state = _SessionState(
+            bw_estimators={u: BandwidthEstimator() for u in users}
+        )
         outcome = StreamOutcome()
 
         for frame_idx in range(total_frames):
-            now = frame_idx / config.fps
-            # Consecutive frames within one beacon period come from the same
-            # reference (real video content is temporally coherent); the
-            # probe advances at beacon boundaries, in step with replanning.
-            probe_idx = (frame_idx // config.frames_per_beacon) % len(self.probes)
-            probe = self.probes[probe_idx]
-            context = FrameFeatureContext.from_probe(probe)
-            contexts = {u: context for u in users}
-
-            beacon_due = now - last_plan_time >= config.beacon_interval_s - 1e-9
-            if allocation is None:
-                snapshot = trace.at_time(now)
-                allocation = self._plan(snapshot.estimated_state, users, contexts)
-                last_plan_time = now
-            elif beacon_due:
-                snapshot = trace.at_time(now)
-                if config.adaptation is AdaptationPolicy.REALTIME_UPDATE:
-                    allocation = self._plan(snapshot.estimated_state, users, contexts)
-                elif config.no_update_beam_tracking:
-                    # "No Update" freezes the schedule, groups, MCS, time
-                    # allocation and the *optimized* beam weights at t=0 —
-                    # but 802.11ad NICs autonomously keep a codebook sector
-                    # aligned (mandatory beam tracking), so each group falls
-                    # back to the best predefined sector for its members.
-                    allocation = self._retrack_beams(
-                        allocation, snapshot.estimated_state
-                    )
-                last_plan_time = now
-
-            assert allocation is not None
-            encoder = FrameBlockEncoder(frame_idx, probe.layered, self.symbol_size)
-            assignments = assign_coding_groups(
-                allocation.bytes_allocated,
-                allocation.groups,
-                self.codec.structure.sublayer_nbytes,
-            )
-            true_state = trace.at_time(now).true_state
-            rate_limits = self._rate_limits(allocation, bw_estimators)
-            result = self.transmitter.transmit(
-                encoder,
-                assignments,
-                allocation.groups,
-                true_state,
-                config.frame_budget_s,
-                self.rng,
-                rate_limits_bytes_per_s=rate_limits,
-            )
-            for user in users:
-                reception = result.receptions[user]
-                masks = reception.decoder.sublayer_masks()
-                quality, quality_db = probe.measure_masks(masks)
-                outcome.stats.append(
-                    FrameStats(
-                        frame_index=frame_idx,
-                        user_id=user,
-                        ssim=quality,
-                        psnr_db=quality_db,
-                        bytes_received_per_layer=tuple(
-                            reception.decoder.bytes_received_per_layer()
-                        ),
-                        deadline_met=result.airtime_s <= config.frame_budget_s + 1e-9,
-                    )
-                )
-                total = reception.packets_received + reception.packets_lost
-                fraction = (
-                    reception.packets_received / total if total else 1.0
-                )
-                bw_estimators[user].observe_fraction(
-                    float(np.clip(fraction, 0.0, 1.0)), self.rng
+            with OBS.span("frame.stream", frame=frame_idx) as frame_span:
+                self._stream_frame(
+                    frame_idx, trace, users, state, outcome, frame_span
                 )
         return outcome
+
+    def _stream_frame(
+        self,
+        frame_idx: int,
+        trace: CsiTrace,
+        users: List[int],
+        state: "_SessionState",
+        outcome: StreamOutcome,
+        frame_span,
+    ) -> None:
+        """Plan (at beacon boundaries), transmit and score one frame."""
+        config = self.config
+        now = frame_idx / config.fps
+        # Consecutive frames within one beacon period come from the same
+        # reference (real video content is temporally coherent); the
+        # probe advances at beacon boundaries, in step with replanning.
+        probe_idx = (frame_idx // config.frames_per_beacon) % len(self.probes)
+        probe = self.probes[probe_idx]
+        context = FrameFeatureContext.from_probe(probe)
+        contexts = {u: context for u in users}
+
+        beacon_due = now - state.last_plan_time >= config.beacon_interval_s - 1e-9
+        if state.allocation is None:
+            snapshot = trace.at_time(now)
+            state.allocation = self._plan(snapshot.estimated_state, users, contexts)
+            state.last_plan_time = now
+        elif beacon_due:
+            snapshot = trace.at_time(now)
+            if config.adaptation is AdaptationPolicy.REALTIME_UPDATE:
+                state.allocation = self._plan(
+                    snapshot.estimated_state, users, contexts
+                )
+            elif config.no_update_beam_tracking:
+                # "No Update" freezes the schedule, groups, MCS, time
+                # allocation and the *optimized* beam weights at t=0 —
+                # but 802.11ad NICs autonomously keep a codebook sector
+                # aligned (mandatory beam tracking), so each group falls
+                # back to the best predefined sector for its members.
+                state.allocation = self._retrack_beams(
+                    state.allocation, snapshot.estimated_state
+                )
+            state.last_plan_time = now
+
+        allocation = state.allocation
+        assert allocation is not None
+        encoder = FrameBlockEncoder(frame_idx, probe.layered, self.symbol_size)
+        assignments = assign_coding_groups(
+            allocation.bytes_allocated,
+            allocation.groups,
+            self.codec.structure.sublayer_nbytes,
+        )
+        true_state = trace.at_time(now).true_state
+        rate_limits = self._rate_limits(allocation, state.bw_estimators)
+        result = self.transmitter.transmit(
+            encoder,
+            assignments,
+            allocation.groups,
+            true_state,
+            config.frame_budget_s,
+            self.rng,
+            rate_limits_bytes_per_s=rate_limits,
+        )
+        deadline_met = result.airtime_s <= config.frame_budget_s + 1e-9
+        for user in users:
+            reception = result.receptions[user]
+            masks = reception.decoder.sublayer_masks()
+            quality, quality_db = probe.measure_masks(masks)
+            outcome.stats.append(
+                FrameStats(
+                    frame_index=frame_idx,
+                    user_id=user,
+                    ssim=quality,
+                    psnr_db=quality_db,
+                    bytes_received_per_layer=tuple(
+                        reception.decoder.bytes_received_per_layer()
+                    ),
+                    deadline_met=deadline_met,
+                )
+            )
+            total = reception.packets_received + reception.packets_lost
+            fraction = (
+                reception.packets_received / total if total else 1.0
+            )
+            state.bw_estimators[user].observe_fraction(
+                float(np.clip(fraction, 0.0, 1.0)), self.rng
+            )
+        if OBS.mode:
+            OBS.count("frames.streamed")
+            if not deadline_met:
+                OBS.count("frames.deadline_missed")
+            frame_span.set(
+                users=len(users),
+                groups=len(allocation.groups),
+                packets_sent=result.packets_sent,
+                airtime_s=result.airtime_s,
+                feedback_rounds=result.feedback_rounds_used,
+                deadline_met=deadline_met,
+            )
 
     # ------------------------------------------------------------------ parts
 

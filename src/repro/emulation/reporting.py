@@ -53,8 +53,8 @@ class ExperimentRecord:
         lines = [
             f"### {self.experiment_id}: {self.description}",
             "",
-            f"| case | min | q1 | median | q3 | max | mean | n |",
-            f"|---|---|---|---|---|---|---|---|",
+            "| case | min | q1 | median | q3 | max | mean | n |",
+            "|---|---|---|---|---|---|---|---|",
         ]
         for case, box in stats.items():
             lines.append(

@@ -39,6 +39,7 @@ from ..baselines import (
 )
 from ..core import MulticastStreamer, SystemConfig
 from ..errors import EmulationError
+from ..obs import OBS
 from ..perf.parallel import parallel_map
 from ..quality.dnn import DNNQualityModel
 from ..types import (
@@ -152,7 +153,7 @@ def build_context(
 # ---------------------------------------------------------------- placements
 
 
-def _trace_for_placement(
+def trace_for_placement(
     ctx: ExperimentContext,
     num_users: int,
     placement: Tuple,
@@ -195,10 +196,12 @@ def _stream_sample(
     seed: int,
 ) -> Tuple[float, float]:
     """One streaming session's (mean SSIM, mean PSNR)."""
-    streamer = MulticastStreamer(
-        config, ctx.dnn, ctx.probes, ctx.scenario.channel_model, seed=seed
-    )
-    outcome = streamer.stream_trace(trace, num_frames=frames)
+    with OBS.span("emulation.run", frames=frames, seed=seed) as span:
+        streamer = MulticastStreamer(
+            config, ctx.dnn, ctx.probes, ctx.scenario.channel_model, seed=seed
+        )
+        outcome = streamer.stream_trace(trace, num_frames=frames)
+        span.set(mean_ssim=outcome.mean_ssim)
     return outcome.mean_ssim, outcome.mean_psnr_db
 
 
@@ -207,7 +210,7 @@ def _beamforming_run(args) -> Dict[str, Tuple[float, float]]:
     run, num_users, placement, schemes, frames, overrides = args
     ctx = _WORKER_CTX
     run_seed = 1000 + 17 * run
-    trace = _trace_for_placement(ctx, num_users, placement, run_seed)
+    trace = trace_for_placement(ctx, num_users, placement, run_seed)
     out: Dict[str, Tuple[float, float]] = {}
     for scheme in schemes:
         config = ctx.config(scheme=scheme, **(overrides or {}))
@@ -220,7 +223,7 @@ def _scheduler_run(args) -> Dict[str, Tuple[float, float]]:
     run, num_users, placement, frames = args
     ctx = _WORKER_CTX
     run_seed = 2000 + 13 * run
-    trace = _trace_for_placement(ctx, num_users, placement, run_seed)
+    trace = trace_for_placement(ctx, num_users, placement, run_seed)
     out: Dict[str, Tuple[float, float]] = {}
     for kind in SchedulerKind:
         config = ctx.config(scheduler=kind)
@@ -233,7 +236,7 @@ def _ablation_run(args) -> Dict[str, Tuple[float, float]]:
     run, axis, num_users, placement, frames = args
     ctx = _WORKER_CTX
     run_seed = 3000 + 29 * run
-    trace = _trace_for_placement(ctx, num_users, placement, run_seed)
+    trace = trace_for_placement(ctx, num_users, placement, run_seed)
     out: Dict[str, Tuple[float, float]] = {}
     for enabled in (True, False):
         config = ctx.config(**{axis: enabled})

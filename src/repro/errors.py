@@ -51,3 +51,12 @@ class TransportError(ReproError):
 
 class EmulationError(ReproError):
     """An emulation scenario or trace is malformed."""
+
+
+class ParallelWorkerError(ReproError):
+    """A task raised inside a process-pool worker.
+
+    The message embeds the worker-side exception type, message and full
+    traceback, because the original traceback object cannot cross the
+    process boundary.
+    """

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import accumulate
-from typing import ClassVar, Dict, Iterable, List, Tuple
+from typing import ClassVar, Dict, List, Tuple
 
 import numpy as np
 

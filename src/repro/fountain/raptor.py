@@ -36,11 +36,13 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from time import perf_counter
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 
 from ..errors import FountainCodeError
+from ..obs import OBS
 from ..perf.mode import seed_path_active
 from .gf256 import (
     gf_inverse,
@@ -202,6 +204,20 @@ class FountainEncoder:
             raise FountainCodeError(f"symbol ids must be >= 0, got {first_id}")
         if count <= 0:
             return []
+        if not OBS.mode:
+            return self._symbols(first_id, count)
+        t0 = perf_counter()
+        out = self._symbols(first_id, count)
+        OBS.count("fountain.symbols_encoded", count)
+        OBS.record_span(
+            "encode.fountain",
+            t0,
+            perf_counter(),
+            fields={"block": self.block_id, "symbols": count},
+        )
+        return out
+
+    def _symbols(self, first_id: int, count: int) -> List[FountainSymbol]:
         if seed_path_active():
             return [self.symbol(first_id + i) for i in range(count)]
         k = self.num_source_symbols
@@ -306,6 +322,27 @@ class FountainDecoder:
             )
         if self._decoded is not None:
             return True
+        if not OBS.mode:
+            self._ingest(symbol)
+            return self._decoded is not None
+        t0 = perf_counter()
+        self._ingest(symbol)
+        t1 = perf_counter()
+        OBS.count("fountain.symbols_received")
+        OBS.histogram("decode.fountain").observe(t1 - t0)
+        if self._decoded is not None:
+            OBS.count("fountain.blocks_decoded")
+            OBS.event(
+                "decode.fountain",
+                t0,
+                t1,
+                block=self.block_id,
+                symbols=self.received_count,
+                k=self.num_source_symbols,
+            )
+        return self._decoded is not None
+
+    def _ingest(self, symbol: FountainSymbol) -> None:
         if self._incremental:
             if symbol.symbol_id not in self._ids:
                 self._ids.add(symbol.symbol_id)
@@ -314,7 +351,6 @@ class FountainDecoder:
             self._symbols.setdefault(symbol.symbol_id, symbol.payload)
             if len(self._symbols) >= self.num_source_symbols:
                 self._try_decode()
-        return self._decoded is not None
 
     def decode(self) -> bytes:
         """The reconstructed block; raises if not yet decodable."""

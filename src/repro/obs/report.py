@@ -1,0 +1,148 @@
+"""Aggregate observability report built from a registry snapshot.
+
+Turns the raw counters/histograms an instrumented run accumulated into the
+numbers a human (or CI) asks first: per-stage latency quantiles, fountain
+symbol throughput, and per-receiver delivery ratios.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from .registry import ObsRegistry
+
+#: The pipeline stages the hot path instruments (span histogram names).
+PIPELINE_STAGES = (
+    "frame.stream",
+    "encode.jigsaw",
+    "encode.fountain",
+    "decode.fountain",
+    "schedule.allocate",
+    "transport.transmit",
+    "emulation.run",
+)
+
+#: Counter-name prefixes for the per-receiver delivery tallies.
+DELIVERED_PREFIX = "transport.user."
+DELIVERED_SUFFIX = ".delivered"
+LOST_SUFFIX = ".lost"
+
+
+def build_report(registry: ObsRegistry) -> Dict[str, Any]:
+    """Aggregate a registry's metrics into one report dict."""
+    histograms = registry.histograms()
+    counters = registry.counters()
+
+    stages: Dict[str, Dict[str, float]] = {}
+    for name in PIPELINE_STAGES:
+        hist = histograms.get(name)
+        if hist is None or not hist.count:
+            continue
+        qs = hist.quantiles((0.50, 0.95, 0.99))
+        stages[name] = {
+            "count": hist.count,
+            "total_s": hist.sum,
+            "mean_ms": hist.mean * 1e3,
+            "p50_ms": qs[0.50] * 1e3,
+            "p95_ms": qs[0.95] * 1e3,
+            "p99_ms": qs[0.99] * 1e3,
+            "max_ms": hist.max * 1e3,
+        }
+
+    throughput: Dict[str, float] = {}
+    encode_hist = histograms.get("encode.fountain")
+    symbols_encoded = counters.get("fountain.symbols_encoded", 0.0)
+    if encode_hist is not None and encode_hist.sum > 0 and symbols_encoded:
+        throughput["fountain_encode_symbols_per_s"] = (
+            symbols_encoded / encode_hist.sum
+        )
+    decode_hist = histograms.get("decode.fountain")
+    symbols_received = counters.get("fountain.symbols_received", 0.0)
+    if decode_hist is not None and decode_hist.sum > 0 and symbols_received:
+        throughput["fountain_decode_symbols_per_s"] = (
+            symbols_received / decode_hist.sum
+        )
+
+    delivery: Dict[str, Dict[str, float]] = {}
+    for name, value in counters.items():
+        if not name.startswith(DELIVERED_PREFIX):
+            continue
+        middle = name[len(DELIVERED_PREFIX):]
+        if middle.endswith(DELIVERED_SUFFIX):
+            user, key = middle[: -len(DELIVERED_SUFFIX)], "delivered"
+        elif middle.endswith(LOST_SUFFIX):
+            user, key = middle[: -len(LOST_SUFFIX)], "lost"
+        else:
+            continue
+        delivery.setdefault(user, {"delivered": 0.0, "lost": 0.0})[key] = value
+    for stats in delivery.values():
+        total = stats["delivered"] + stats["lost"]
+        stats["ratio"] = stats["delivered"] / total if total else 1.0
+
+    frames = counters.get("frames.streamed", 0.0)
+    deadline_missed = counters.get("frames.deadline_missed", 0.0)
+
+    return {
+        "schema": 1,
+        "mode": registry.mode_name,
+        "stages": stages,
+        "throughput": throughput,
+        "delivery": {u: delivery[u] for u in sorted(delivery)},
+        "frames": {
+            "streamed": frames,
+            "deadline_missed": deadline_missed,
+            "deadline_hit_ratio": (
+                (frames - deadline_missed) / frames if frames else float("nan")
+            ),
+        },
+        "counters": counters,
+        "gauges": registry.gauges(),
+        "trace_events": len(registry.trace),
+    }
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """Render a report as an aligned, human-readable text block."""
+    lines = [f"=== Observability report (mode={report['mode']}) ==="]
+    if report["stages"]:
+        lines.append("")
+        lines.append(
+            f"{'stage':<20} {'calls':>7} {'total s':>9} {'p50 ms':>9} "
+            f"{'p95 ms':>9} {'p99 ms':>9}"
+        )
+        for name, s in report["stages"].items():
+            lines.append(
+                f"{name:<20} {s['count']:>7d} {s['total_s']:>9.3f} "
+                f"{s['p50_ms']:>9.3f} {s['p95_ms']:>9.3f} {s['p99_ms']:>9.3f}"
+            )
+    if report["throughput"]:
+        lines.append("")
+        for key, value in report["throughput"].items():
+            lines.append(f"{key:<36} {value:>12.1f}")
+    if report["delivery"]:
+        lines.append("")
+        lines.append(f"{'receiver':<10} {'delivered':>10} {'lost':>8} {'ratio':>7}")
+        for user, stats in report["delivery"].items():
+            lines.append(
+                f"{user:<10} {stats['delivered']:>10.0f} {stats['lost']:>8.0f} "
+                f"{stats['ratio']:>7.3f}"
+            )
+    frames = report["frames"]
+    if frames["streamed"]:
+        lines.append("")
+        lines.append(
+            f"frames streamed {frames['streamed']:.0f}, deadline hit ratio "
+            f"{frames['deadline_hit_ratio']:.3f}"
+        )
+    lines.append("")
+    lines.append(f"trace events: {report['trace_events']}")
+    return "\n".join(lines)
+
+
+def write_report(report: Dict[str, Any], path: Union[str, Path]) -> Path:
+    """Write a report as stable, diff-friendly JSON."""
+    target = Path(path)
+    target.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return target

@@ -1,0 +1,117 @@
+"""Per-frame trace recorder: JSONL event log of the streaming pipeline.
+
+A trace event is one flat JSON object per line::
+
+    {"stage": "transport.transmit", "frame": 3, "t_start_s": 0.0123,
+     "t_end_s": 0.0151, "dur_s": 0.0028, "packets": 412, "bytes": 47560}
+
+``stage`` and the timing triple are always present; ``frame`` is present
+for events scoped to a video frame (``null`` for build-time events such as
+probe encoding); everything else is stage-specific (``bytes``, ``symbols``,
+``layer``, ``user``, ``group``, ...).  Timestamps are ``perf_counter``
+seconds relative to the recorder's epoch, so durations and ordering are
+meaningful within one process.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from ..errors import ConfigurationError
+
+#: Keys every trace event carries.
+REQUIRED_EVENT_KEYS = ("stage", "t_start_s", "t_end_s", "dur_s")
+
+
+class TraceRecorder:
+    """Buffers trace events in memory and serialises them as JSONL.
+
+    The recorder never touches the filesystem until :meth:`write_jsonl`
+    (or :meth:`flush`) is called, so trace mode adds list appends — not
+    I/O — to the pipeline.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path else None
+        self.epoch = time.perf_counter()
+        self._events: List[Dict[str, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        """The buffered events (callers must not mutate them)."""
+        return self._events
+
+    def record(
+        self,
+        stage: str,
+        t_start: float,
+        t_end: float,
+        frame: Optional[int] = None,
+        **fields: Any,
+    ) -> None:
+        """Append one event; timestamps are raw ``perf_counter`` readings."""
+        event: Dict[str, Any] = {
+            "stage": stage,
+            "frame": frame,
+            "t_start_s": t_start - self.epoch,
+            "t_end_s": t_end - self.epoch,
+            "dur_s": t_end - t_start,
+        }
+        if fields:
+            event.update(fields)
+        self._events.append(event)
+
+    def clear(self) -> None:
+        """Drop all buffered events and restart the epoch."""
+        self._events.clear()
+        self.epoch = time.perf_counter()
+
+    def write_jsonl(self, path: Optional[Union[str, Path]] = None) -> Path:
+        """Write the buffered events, one JSON object per line."""
+        target = Path(path) if path else self.path
+        if target is None:
+            raise ConfigurationError("no trace path configured")
+        with target.open("w") as fh:
+            for event in self._events:
+                fh.write(json.dumps(event, sort_keys=True) + "\n")
+        return target
+
+    def flush(self) -> Optional[Path]:
+        """Write to the configured path, if any; no-op when pathless/empty."""
+        if self.path is None or not self._events:
+            return None
+        return self.write_jsonl(self.path)
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load a JSONL trace, validating each event's required keys."""
+    events = []
+    with Path(path).open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"{path}:{lineno}: invalid JSON trace line: {exc}"
+                ) from exc
+            missing = [k for k in REQUIRED_EVENT_KEYS if k not in event]
+            if missing:
+                raise ConfigurationError(
+                    f"{path}:{lineno}: trace event missing keys {missing}"
+                )
+            events.append(event)
+    return events
+
+
+def stages_covered(events: Iterable[Dict[str, Any]]) -> set:
+    """The set of stage names appearing in a trace."""
+    return {event["stage"] for event in events}

@@ -22,10 +22,12 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import traceback
 from concurrent.futures import ProcessPoolExecutor
+from functools import partial
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ParallelWorkerError
 
 #: Environment variable overriding the default worker count.
 JOBS_ENV_VAR = "REPRO_JOBS"
@@ -55,6 +57,27 @@ def effective_jobs(jobs: Optional[int] = None) -> int:
     return int(jobs)
 
 
+def _run_task(fn: Callable[[_T], _R], item: _T) -> _R:
+    """Worker-side wrapper preserving the original failure context.
+
+    A bare exception crossing the pool boundary loses its traceback — the
+    caller sees only the exception message, with no hint of which worker
+    frame raised it.  Capture the formatted traceback in the worker and
+    re-raise as :class:`ParallelWorkerError`, whose message (a plain
+    string) survives pickling intact.
+    """
+    try:
+        return fn(item)
+    except ParallelWorkerError:
+        raise
+    except Exception as exc:
+        raise ParallelWorkerError(
+            f"worker task {getattr(fn, '__name__', fn)!r} failed: "
+            f"{type(exc).__name__}: {exc}\n"
+            f"--- worker traceback ---\n{traceback.format_exc()}"
+        ) from exc
+
+
 def _pool_context():
     methods = multiprocessing.get_all_start_methods()
     if "fork" in methods:
@@ -80,8 +103,10 @@ def parallel_map(
         initargs: Arguments for ``initializer``.
 
     Returns:
-        Results in the order of ``items``.  Exceptions in any task
-        propagate to the caller.
+        Results in the order of ``items``.  Serial-path exceptions
+        propagate unchanged; a pool-worker exception is re-raised as
+        :class:`repro.errors.ParallelWorkerError` carrying the original
+        exception type, message and worker-side traceback in its message.
     """
     work = list(items)
     count = effective_jobs(jobs)
@@ -104,4 +129,4 @@ def parallel_map(
         initializer=initializer,
         initargs=tuple(initargs),
     ) as pool:
-        return list(pool.map(fn, work))
+        return list(pool.map(partial(_run_task, fn), work))

@@ -22,8 +22,8 @@ import numpy as np
 from ..errors import ChannelError
 from ..types import Position
 from .antenna import PhasedArray
-from .propagation import HUMAN_BLOCKAGE_DB, path_amplitude, path_phase_rad
-from .raytracer import Path, RayTracer
+from .propagation import path_amplitude, path_phase_rad
+from .raytracer import RayTracer
 
 
 @dataclass(frozen=True)

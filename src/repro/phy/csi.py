@@ -17,12 +17,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path as FsPath
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Dict, Iterator, List, Union
 
 import numpy as np
 
 from ..errors import ChannelError
-from ..types import Position, validate_seed
+from ..types import Position
 from .channel import ChannelState
 
 

@@ -22,6 +22,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from ..errors import SchedulingError
+from ..obs import OBS
 from ..quality.curves import FrameFeatureContext
 from ..quality.dnn import DNNQualityModel
 from ..types import FRAME_BUDGET_30FPS, NUM_LAYERS
@@ -104,6 +105,23 @@ class TimeAllocationOptimizer:
         users = sorted(contexts)
         if not users:
             raise SchedulingError("no user contexts")
+        if not OBS.mode:
+            return self._optimize(groups, contexts, users, frame_budget_s)
+        with OBS.span(
+            "schedule.allocate",
+            groups=len(groups),
+            users=len(users),
+            scheduler="optimized",
+        ):
+            return self._optimize(groups, contexts, users, frame_budget_s)
+
+    def _optimize(
+        self,
+        groups: Sequence[CandidateGroup],
+        contexts: Dict[int, FrameFeatureContext],
+        users: List[int],
+        frame_budget_s: float,
+    ) -> AllocationResult:
         num_groups = len(groups)
         rates = np.array([g.rate_bytes_per_s for g in groups])  # bytes/s
         membership = np.zeros((len(users), num_groups), dtype=bool)

@@ -17,6 +17,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from ..errors import SchedulingError
+from ..obs import OBS
 from ..quality.curves import FrameFeatureContext
 from ..types import FRAME_BUDGET_30FPS, NUM_LAYERS
 from .allocation import AllocationResult
@@ -38,6 +39,22 @@ def round_robin_allocation(
     """
     if not groups:
         raise SchedulingError("no candidate groups")
+    if OBS.mode:
+        with OBS.span(
+            "schedule.allocate",
+            groups=len(groups),
+            users=len(contexts),
+            scheduler="round_robin",
+        ):
+            return _round_robin(groups, contexts, frame_budget_s)
+    return _round_robin(groups, contexts, frame_budget_s)
+
+
+def _round_robin(
+    groups: Sequence[CandidateGroup],
+    contexts: Dict[int, FrameFeatureContext],
+    frame_budget_s: float,
+) -> AllocationResult:
     num_groups = len(groups)
     num_slots = max(1, int(frame_budget_s / SLOT_S))
     slots_per_group = np.zeros(num_groups)

@@ -11,7 +11,6 @@ instead of only the least-important tail the paced sender would shed.
 
 from __future__ import annotations
 
-from typing import List
 
 import numpy as np
 

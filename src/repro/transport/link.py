@@ -19,6 +19,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from ..errors import TransportError
+from ..obs import OBS
 from ..phy.channel import ChannelModel, ChannelState
 from ..phy.mcs import McsEntry
 
@@ -75,7 +76,15 @@ class LinkModel:
         per = packet_error_rate(rss - mcs.sensitivity_dbm)
         if user == self.associated_user:
             per = per ** (1 + max(0, self.mac_retries))
-        return float(1.0 - per)
+        prob = float(1.0 - per)
+        if OBS.mode:
+            OBS.count("link.prob_evals")
+            OBS.observe("link.delivery_prob", prob)
+            OBS.set_gauge(f"link.user.{user}.rss_dbm", rss)
+            OBS.set_gauge(
+                f"link.user.{user}.margin_db", rss - mcs.sensitivity_dbm
+            )
+        return prob
 
     def delivery_probabilities(
         self,

@@ -20,19 +20,19 @@ the burst, so losses hit base layers too.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import TransportError
 from ..fountain.block import CodingUnitId, FrameBlockDecoder, FrameBlockEncoder
+from ..obs import OBS
 from ..perf.mode import seed_path_active
 from ..phy.channel import ChannelState
 from ..scheduling.coding_groups import UnitAssignment
 from ..scheduling.groups import CandidateGroup
 from .kernel_queue import KernelQueue
-from .leaky_bucket import LeakyBucket
 from .link import LinkModel
 
 #: Firmware beam + MCS switch overhead (Sec 3.1: ~25 us).
@@ -130,6 +130,46 @@ class FrameTransmitter:
         """
         if budget_s <= 0:
             raise TransportError(f"budget must be positive, got {budget_s}")
+        if not OBS.mode:
+            return self._transmit(
+                encoder, assignments, groups, true_state, budget_s, rng,
+                rate_limits_bytes_per_s,
+            )
+        with OBS.span(
+            "transport.transmit", frame=encoder.frame_index
+        ) as span:
+            result = self._transmit(
+                encoder, assignments, groups, true_state, budget_s, rng,
+                rate_limits_bytes_per_s,
+            )
+            span.set(
+                packets_sent=result.packets_sent,
+                packets_dropped_at_queue=result.packets_dropped_at_queue,
+                airtime_s=result.airtime_s,
+                feedback_rounds=result.feedback_rounds_used,
+                users=len(result.receptions),
+            )
+        OBS.count("transport.packets_sent", result.packets_sent)
+        OBS.count(
+            "transport.packets_dropped_at_queue", result.packets_dropped_at_queue
+        )
+        for user, reception in result.receptions.items():
+            OBS.count(
+                f"transport.user.{user}.delivered", reception.packets_received
+            )
+            OBS.count(f"transport.user.{user}.lost", reception.packets_lost)
+        return result
+
+    def _transmit(
+        self,
+        encoder: FrameBlockEncoder,
+        assignments: Sequence[UnitAssignment],
+        groups: Sequence[CandidateGroup],
+        true_state: ChannelState,
+        budget_s: float,
+        rng: np.random.Generator,
+        rate_limits_bytes_per_s: Optional[Dict[int, float]] = None,
+    ) -> TransmissionResult:
         receptions = {
             u: UserReception(
                 decoder=FrameBlockDecoder(

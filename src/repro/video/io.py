@@ -11,8 +11,6 @@ streams.
 
 from __future__ import annotations
 
-import io
-import re
 from pathlib import Path
 from typing import BinaryIO, Iterator, List, Optional, Tuple, Union
 

@@ -32,6 +32,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from ..errors import CodecError, VideoFormatError
+from ..obs import OBS
 from ..types import NUM_LAYERS
 from .frame import VideoFrame
 
@@ -222,6 +223,12 @@ class JigsawCodec:
                 f"frame is {frame.height}x{frame.width}, codec expects "
                 f"{self.structure.height}x{self.structure.width}"
             )
+        if not OBS.mode:
+            return self._encode(frame)
+        with OBS.span("encode.jigsaw", bytes=self.structure.total_nbytes):
+            return self._encode(frame)
+
+    def _encode(self, frame: VideoFrame) -> LayeredFrame:
         y = frame.y.astype(np.float32)
         m8q = np.round(_block_mean(y, 8)).astype(np.float32)
 

@@ -7,8 +7,6 @@ from repro.beamforming.codebook import SectorCodebook
 from repro.beamforming.selection import GroupBeamPlanner
 from repro.beamforming.sls import sector_sweep
 from repro.errors import BeamformingError
-from repro.phy.antenna import PhasedArray
-from repro.phy.channel import LinkBudget
 from repro.types import BeamformingScheme, Position
 
 

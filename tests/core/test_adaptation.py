@@ -1,6 +1,5 @@
 """Tests for the adaptation policies and their ablation flags."""
 
-import numpy as np
 import pytest
 
 from repro.core import MulticastStreamer, SystemConfig

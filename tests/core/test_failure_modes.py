@@ -1,7 +1,6 @@
 """Failure-injection tests: dead links, blocked users, degenerate traces."""
 
 import numpy as np
-import pytest
 
 from repro.core import MulticastStreamer, SystemConfig
 from repro.phy.channel import ChannelState

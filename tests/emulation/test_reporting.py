@@ -3,7 +3,6 @@
 import pytest
 
 from repro.emulation.reporting import (
-    ExperimentRecord,
     load_records,
     record_from_runner_output,
     render_report,

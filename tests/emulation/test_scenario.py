@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.emulation.scenario import EmulationScenario
 from repro.errors import EmulationError
 
 

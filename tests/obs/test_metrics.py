@@ -1,0 +1,79 @@
+"""Tests for the observability metric primitives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("packets")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_rejects_negative_increments(self):
+        counter = Counter("packets")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1.0)
+
+
+class TestGauge:
+    def test_starts_nan_then_tracks_last_value(self):
+        gauge = Gauge("queue_depth")
+        assert np.isnan(gauge.value)
+        gauge.set(4)
+        gauge.set(2.5)
+        assert gauge.value == pytest.approx(2.5)
+
+
+class TestHistogram:
+    def test_empty_histogram_aggregates(self):
+        hist = Histogram("latency")
+        assert hist.count == 0
+        assert hist.sum == 0.0
+        assert np.isnan(hist.mean)
+        assert np.isnan(hist.max)
+        assert np.isnan(hist.quantile(0.5))
+
+    def test_quantiles_match_numpy(self, rng):
+        hist = Histogram("latency")
+        samples = rng.exponential(scale=0.01, size=500)
+        for value in samples:
+            hist.observe(value)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert hist.quantile(q) == pytest.approx(np.quantile(samples, q))
+        batched = hist.quantiles((0.5, 0.95, 0.99))
+        assert batched[0.5] == pytest.approx(np.quantile(samples, 0.5))
+        assert batched[0.99] == pytest.approx(np.quantile(samples, 0.99))
+
+    def test_buffer_doubles_without_losing_samples(self):
+        hist = Histogram("latency", capacity=4)
+        values = [float(i) for i in range(37)]
+        for value in values:
+            hist.observe(value)
+        assert hist.count == 37
+        assert list(hist.samples) == values
+        assert hist.sum == pytest.approx(sum(values))
+        assert hist.max == pytest.approx(36.0)
+
+    def test_samples_view_is_read_only(self):
+        hist = Histogram("latency")
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.samples[0] = 2.0
+
+    def test_invalid_quantile_rejected(self):
+        hist = Histogram("latency")
+        hist.observe(1.0)
+        with pytest.raises(ConfigurationError):
+            hist.quantile(1.5)
+        with pytest.raises(ConfigurationError):
+            hist.quantiles((0.5, -0.1))
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("latency", capacity=0)

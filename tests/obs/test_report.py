@@ -1,0 +1,85 @@
+"""Tests for the aggregate observability report."""
+
+import json
+
+import numpy as np
+
+from repro.obs import ObsRegistry, build_report, format_report, write_report
+from repro.obs.report import PIPELINE_STAGES
+
+
+def _populated_registry() -> ObsRegistry:
+    registry = ObsRegistry(mode="trace")
+    for i in range(10):
+        registry.record_span("frame.stream", 0.0, 0.030 + 0.001 * i, frame=i)
+        registry.record_span("transport.transmit", 0.0, 0.010, frame=i)
+    registry.record_span("encode.fountain", 0.0, 0.5)
+    registry.count("fountain.symbols_encoded", 5000)
+    registry.observe("decode.fountain", 0.25)
+    registry.count("fountain.symbols_received", 1000)
+    registry.count("transport.user.0.delivered", 90)
+    registry.count("transport.user.0.lost", 10)
+    registry.count("transport.user.1.delivered", 50)
+    registry.count("frames.streamed", 10)
+    registry.count("frames.deadline_missed", 2)
+    return registry
+
+
+class TestBuildReport:
+    def test_stage_latency_stats(self):
+        report = build_report(_populated_registry())
+        stream = report["stages"]["frame.stream"]
+        assert stream["count"] == 10
+        assert stream["mean_ms"] > 30.0
+        assert stream["p50_ms"] <= stream["p95_ms"] <= stream["p99_ms"]
+        assert stream["max_ms"] >= stream["p99_ms"]
+        # Stages with no samples are absent, not zero-filled.
+        assert "emulation.run" not in report["stages"]
+
+    def test_throughput_from_counters_and_histograms(self):
+        report = build_report(_populated_registry())
+        assert report["throughput"]["fountain_encode_symbols_per_s"] == (
+            5000 / 0.5
+        )
+        assert report["throughput"]["fountain_decode_symbols_per_s"] == (
+            1000 / 0.25
+        )
+
+    def test_per_receiver_delivery_ratios(self):
+        report = build_report(_populated_registry())
+        assert report["delivery"]["0"]["ratio"] == 0.9
+        # A user with no losses gets ratio 1.0.
+        assert report["delivery"]["1"]["ratio"] == 1.0
+
+    def test_frame_deadline_ratio(self):
+        report = build_report(_populated_registry())
+        assert report["frames"]["deadline_hit_ratio"] == 0.8
+
+    def test_empty_registry_report(self):
+        report = build_report(ObsRegistry(mode="off"))
+        assert report["stages"] == {}
+        assert report["throughput"] == {}
+        assert report["delivery"] == {}
+        assert np.isnan(report["frames"]["deadline_hit_ratio"])
+
+    def test_pipeline_stage_list_covers_required_stages(self):
+        required = {
+            "frame.stream", "encode.jigsaw", "encode.fountain",
+            "decode.fountain", "schedule.allocate", "transport.transmit",
+        }
+        assert required <= set(PIPELINE_STAGES)
+
+
+class TestRendering:
+    def test_format_report_mentions_key_numbers(self):
+        text = format_report(build_report(_populated_registry()))
+        assert "frame.stream" in text
+        assert "fountain_encode_symbols_per_s" in text
+        assert "deadline hit ratio" in text
+
+    def test_write_report_round_trips_as_json(self, tmp_path):
+        report = build_report(_populated_registry())
+        path = write_report(report, tmp_path / "report.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == 1
+        assert loaded["stages"]["frame.stream"]["count"] == 10

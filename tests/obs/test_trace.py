@@ -1,0 +1,82 @@
+"""Tests for the JSONL trace recorder and reader."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    REQUIRED_EVENT_KEYS,
+    TraceRecorder,
+    read_jsonl,
+    stages_covered,
+)
+
+
+class TestTraceRecorder:
+    def test_events_are_epoch_relative(self):
+        recorder = TraceRecorder()
+        epoch = recorder.epoch
+        recorder.record("encode.jigsaw", epoch + 1.0, epoch + 1.25, frame=2,
+                        bytes=4096)
+        (event,) = recorder.events
+        assert event["stage"] == "encode.jigsaw"
+        assert event["frame"] == 2
+        assert event["t_start_s"] == pytest.approx(1.0)
+        assert event["t_end_s"] == pytest.approx(1.25)
+        assert event["dur_s"] == pytest.approx(0.25)
+        assert event["bytes"] == 4096
+
+    def test_clear_resets_buffer_and_epoch(self):
+        recorder = TraceRecorder()
+        recorder.record("x", recorder.epoch, recorder.epoch + 1.0)
+        old_epoch = recorder.epoch
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.epoch >= old_epoch
+
+    def test_write_without_path_rejected(self):
+        recorder = TraceRecorder()
+        recorder.record("x", 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            recorder.write_jsonl()
+
+    def test_flush_is_noop_when_pathless_or_empty(self, tmp_path):
+        assert TraceRecorder().flush() is None
+        empty = TraceRecorder(tmp_path / "trace.jsonl")
+        assert empty.flush() is None
+        assert not (tmp_path / "trace.jsonl").exists()
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_events(self, tmp_path):
+        recorder = TraceRecorder(tmp_path / "trace.jsonl")
+        epoch = recorder.epoch
+        recorder.record("frame.stream", epoch, epoch + 0.03, frame=0, users=3)
+        recorder.record("transport.transmit", epoch + 0.001, epoch + 0.02,
+                        frame=0, packets_sent=411)
+        path = recorder.flush()
+        events = read_jsonl(path)
+        assert len(events) == 2
+        assert events == recorder.events
+        assert stages_covered(events) == {"frame.stream", "transport.transmit"}
+        for event in events:
+            for key in REQUIRED_EVENT_KEYS:
+                assert key in event
+
+    def test_invalid_json_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"stage": "x", "t_start_s": 0')
+        with pytest.raises(ConfigurationError, match="invalid JSON"):
+            read_jsonl(path)
+
+    def test_missing_required_keys_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"stage": "x", "t_start_s": 0.0}\n')
+        with pytest.raises(ConfigurationError, match="missing keys"):
+            read_jsonl(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '\n{"stage": "x", "t_start_s": 0.0, "t_end_s": 1.0, "dur_s": 1.0}\n\n'
+        )
+        assert len(read_jsonl(path)) == 1

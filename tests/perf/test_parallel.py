@@ -4,7 +4,7 @@ import os
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ParallelWorkerError
 from repro.perf import (
     JOBS_ENV_VAR,
     OPTIMIZED_MODE,
@@ -103,10 +103,20 @@ class TestParallelMap:
     def test_empty_items(self):
         assert parallel_map(_square, [], jobs=4) == []
 
-    @pytest.mark.parametrize("jobs", [1, 2])
-    def test_exceptions_propagate(self, jobs):
+    def test_serial_exceptions_propagate_unchanged(self):
         with pytest.raises(ValueError, match="three"):
-            parallel_map(_fail_on_three, [1, 2, 3, 4], jobs=jobs)
+            parallel_map(_fail_on_three, [1, 2, 3, 4], jobs=1)
+
+    def test_worker_exception_surfaces_message_and_traceback(self):
+        with pytest.raises(ParallelWorkerError) as excinfo:
+            parallel_map(_fail_on_three, [1, 2, 3, 4], jobs=2)
+        message = str(excinfo.value)
+        # The original exception type and message survive the pool boundary…
+        assert "ValueError" in message
+        assert "three" in message
+        # …along with the worker-side traceback, pointing at the raise site.
+        assert "worker traceback" in message
+        assert "_fail_on_three" in message
 
     def test_serial_runs_initializer_in_process(self):
         _INIT_STATE["value"] = None

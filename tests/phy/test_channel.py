@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import ChannelError
 from repro.phy.antenna import PhasedArray
-from repro.phy.channel import ChannelModel, ChannelState, LinkBudget
+from repro.phy.channel import ChannelModel, LinkBudget
 from repro.phy.raytracer import RayTracer, Room
 from repro.types import Position
 

@@ -65,7 +65,7 @@ class TestRayTracer:
         paths = tracer.trace(receiver)
         mirror_len = np.hypot(5.0 - 1.0, -6.0 - 6.0)
         lengths = [p.length_m for p in paths if p.num_bounces == 1]
-        assert any(abs(l - mirror_len) < 1e-6 for l in lengths)
+        assert any(abs(length - mirror_len) < 1e-6 for length in lengths)
 
     def test_aod_measured_from_boresight(self):
         tracer = RayTracer(Room(20, 12), Position(1.0, 6.0),

@@ -45,7 +45,6 @@ class TestExecution:
     def test_quality_model_command_runs(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         # Patch the trainer to a fast configuration.
-        import repro.cli as cli_mod
         from repro.quality.model import train_quality_models as real_train
 
         def fast_train(dnn_epochs, seed):

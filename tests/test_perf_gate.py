@@ -1,0 +1,102 @@
+"""Tests for the CI perf-regression gate (benchmarks/perf_gate.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_GATE_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "perf_gate.py"
+_spec = importlib.util.spec_from_file_location("perf_gate", _GATE_PATH)
+perf_gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(perf_gate)
+
+
+def _report(scale: float = 1.0, **overrides) -> dict:
+    """A synthetic benchmark report with throughputs scaled by ``scale``."""
+    stages = {
+        "jigsaw_encode": {"fps_serial": 1000.0 * scale},
+        "fountain_encode": {"batched_warm_msymbols_per_s": 0.25 * scale},
+        "fountain_decode": {"incremental_msymbols_per_s": 0.04 * scale},
+        "ssim": {"frames_per_s_float32": 300.0 * scale},
+        "emulation": {
+            "optimized_runs_per_s": 2.7 * scale,
+            "metrics_identical": True,
+            "decoded_frames_identical": True,
+        },
+    }
+    for dotted, value in overrides.items():
+        stage, key = dotted.split(".")
+        stages[stage][key] = value
+    return {"schema": 1, "stages": stages, "host": {"cpu_count": 1}}
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        result = perf_gate.compare(_report(), _report())
+        assert result["passed"]
+        assert all(row["ok"] for row in result["metrics"])
+
+    def test_injected_2x_slowdown_fails_every_metric(self):
+        result = perf_gate.compare(_report(), _report(), slowdown=2.0)
+        assert not result["passed"]
+        assert all(not row["ok"] for row in result["metrics"])
+        assert all(row["ratio"] == pytest.approx(0.5) for row in result["metrics"])
+
+    def test_drop_within_tolerance_passes(self):
+        result = perf_gate.compare(_report(), _report(scale=0.75), tolerance=0.30)
+        assert result["passed"]
+
+    def test_drop_beyond_tolerance_fails(self):
+        result = perf_gate.compare(_report(), _report(scale=0.65), tolerance=0.30)
+        assert not result["passed"]
+
+    def test_improvement_never_fails(self):
+        result = perf_gate.compare(_report(), _report(scale=3.0))
+        assert result["passed"]
+
+    def test_missing_candidate_metric_fails(self):
+        candidate = _report()
+        del candidate["stages"]["fountain_decode"]
+        result = perf_gate.compare(_report(), candidate)
+        assert not result["passed"]
+        (missing,) = [r for r in result["metrics"] if r["candidate"] is None]
+        assert missing["metric"] == "fountain_decode.incremental_msymbols_per_s"
+
+    def test_correctness_flag_failure_fails_gate(self):
+        candidate = _report(**{"emulation.metrics_identical": False})
+        result = perf_gate.compare(_report(), candidate)
+        assert not result["passed"]
+        assert any(not f["ok"] for f in result["flags"])
+
+
+class TestCli:
+    def _write(self, path: Path, report: dict) -> Path:
+        path.write_text(json.dumps(report))
+        return path
+
+    def test_main_pass_and_artifact(self, tmp_path, capsys):
+        baseline = self._write(tmp_path / "base.json", _report())
+        candidate = self._write(tmp_path / "cand.json", _report())
+        artifact = tmp_path / "comparison.json"
+        code = perf_gate.main([
+            "--baseline", str(baseline),
+            "--candidate", str(candidate),
+            "--output", str(artifact),
+        ])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+        saved = json.loads(artifact.read_text())
+        assert saved["passed"] is True
+        assert len(saved["metrics"]) == len(perf_gate.GATED_METRICS)
+
+    def test_main_inject_slowdown_exits_nonzero(self, tmp_path, capsys):
+        baseline = self._write(tmp_path / "base.json", _report())
+        candidate = self._write(tmp_path / "cand.json", _report())
+        code = perf_gate.main([
+            "--baseline", str(baseline),
+            "--candidate", str(candidate),
+            "--inject-slowdown", "2.0",
+        ])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out

@@ -5,7 +5,6 @@ import pytest
 
 from repro.video.dataset import (
     NUM_FEATURES,
-    FrameQualityProbe,
     generate_dataset,
 )
 

@@ -7,7 +7,6 @@ from repro.errors import CodecError, VideoFormatError
 from repro.video.frame import VideoFrame
 from repro.video.jigsaw import (
     SUBLAYER_COUNTS,
-    JigsawCodec,
     LayeredFrame,
     LayerStructure,
     _merge_sublayers,
