@@ -10,6 +10,7 @@ fragility the layered system avoids.
 
 from .abr import FreezeModel, RateQualityModel, BitrateLadder
 from .mpc import FastMpc, RobustMpc, simulate_abr_session, AbrOutcome
+from .session import AbrSession
 
 __all__ = [
     "RateQualityModel",
@@ -19,4 +20,5 @@ __all__ = [
     "FastMpc",
     "simulate_abr_session",
     "AbrOutcome",
+    "AbrSession",
 ]

@@ -20,7 +20,7 @@ miss their live deadline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
@@ -30,7 +30,12 @@ from ..errors import ConfigurationError
 from ..phy.channel import ChannelModel
 from ..phy.csi import CsiTrace
 from ..transport.link import packet_error_rate
-from ..types import BeamformingScheme, FrameStats, validate_seed
+from ..types import (
+    BeamformingScheme,
+    FrameStats,
+    OutcomeStats,
+    validate_seed,
+)
 from .abr import BitrateLadder, FreezeModel, RateQualityModel
 
 #: Lookahead horizon in chunks (the paper's n = 5).
@@ -133,21 +138,8 @@ class RobustMpc(_MpcBase):
 
 
 @dataclass
-class AbrOutcome:
+class AbrOutcome(OutcomeStats):
     """Per-frame quality of an ABR session (comparable to StreamOutcome)."""
-
-    stats: List[FrameStats] = field(default_factory=list)
-
-    @property
-    def mean_ssim(self) -> float:
-        if not self.stats:
-            return float("nan")
-        return float(np.mean([s.ssim for s in self.stats]))
-
-    def ssim_series(self, user_id: int) -> List[float]:
-        """Per-frame SSIM of one user."""
-        return [s.ssim for s in sorted(self.stats, key=lambda x: x.frame_index)
-                if s.user_id == user_id]
 
 
 def simulate_abr_session(

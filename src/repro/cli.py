@@ -6,6 +6,7 @@ Examples::
     repro-wigig scheduler --users 6 --range 8 16 --mas 120
     repro-wigig ablation --axis source_coding --users 3
     repro-wigig mobile --users 3 --moving 0 1 --regime low --duration 4
+    repro-wigig sweep --variant base --variant rr:scheduler=round_robin
     repro-wigig quality-model --epochs 500
     repro-wigig observe --users 3 --frames 6 --trace obs_trace.jsonl
 """
@@ -27,6 +28,8 @@ from .emulation import (
     run_beamforming_comparison,
     run_mobile_comparison,
     run_scheduler_comparison,
+    run_variant_sweep,
+    variant_from_spec,
 )
 from .emulation.runner import trace_for_placement
 from .emulation.stats import print_table, summarize
@@ -97,6 +100,26 @@ def _cmd_mobile(args) -> int:
             f"{approach:18} mean={arr.mean():.3f} min={arr.min():.3f} "
             f"p10={np.percentile(arr, 10):.3f}"
         )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    """Ad-hoc variant sweep: any SystemConfig axis straight from the shell."""
+    ctx = build_context(seed=args.seed)
+    variants = [variant_from_spec(spec) for spec in args.variant]
+    results = run_variant_sweep(
+        ctx, variants, args.users, _placement(args),
+        runs=args.runs, frames=args.frames,
+    )
+    print_table(
+        f"Variant sweep ({args.users} users)",
+        summarize({k: v["ssim"] for k, v in results.items()}),
+        header="SSIM box statistics per variant",
+    )
+    print_table(
+        "PSNR (dB)",
+        summarize({k: v["psnr"] for k, v in results.items()}),
+    )
     return 0
 
 
@@ -202,6 +225,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--regime", choices=["high", "low", "env"], default="high")
     p.add_argument("--duration", type=float, default=3.0)
     p.set_defaults(func=_cmd_mobile)
+
+    p = sub.add_parser(
+        "sweep",
+        help="ad-hoc variant sweep over any SystemConfig fields",
+    )
+    common(p)
+    p.add_argument(
+        "--variant", action="append", required=True,
+        metavar="NAME[:FIELD=VALUE,...]",
+        help="one comparison arm, e.g. rr:scheduler=round_robin "
+             "(repeat for more arms)",
+    )
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
         "observe",

@@ -4,9 +4,55 @@
 links: CSI fetch -> multicast beamforming -> group rates -> time-allocation
 optimization -> fountain encoding -> packet scheduling -> paced transmission
 with feedback/retransmission -> per-user decode -> SSIM/PSNR.
+
+The per-frame loop itself is a staged session pipeline
+(:mod:`repro.core.pipeline`): pluggable :class:`PipelineStage` objects
+driven by a :class:`StreamSession`, with beacon-boundary adaptation
+delegated to :mod:`repro.core.policy` strategies.
 """
 
 from .config import SystemConfig
-from .streamer import MulticastStreamer, StreamOutcome
+from .pipeline import (
+    CodingGroupMapper,
+    FeedbackUpdater,
+    FrameContext,
+    FrameEncoder,
+    PipelineStage,
+    Planner,
+    Scorer,
+    SessionState,
+    StreamOutcome,
+    StreamSession,
+    Transmitter,
+    default_stages,
+)
+from .policy import (
+    AdaptationStrategy,
+    BeamTrackingStrategy,
+    FrozenStrategy,
+    RealtimeUpdateStrategy,
+    strategy_for,
+)
+from .streamer import MulticastStreamer
 
-__all__ = ["SystemConfig", "MulticastStreamer", "StreamOutcome"]
+__all__ = [
+    "SystemConfig",
+    "MulticastStreamer",
+    "StreamOutcome",
+    "StreamSession",
+    "SessionState",
+    "FrameContext",
+    "PipelineStage",
+    "Planner",
+    "FrameEncoder",
+    "CodingGroupMapper",
+    "Transmitter",
+    "FeedbackUpdater",
+    "Scorer",
+    "default_stages",
+    "AdaptationStrategy",
+    "RealtimeUpdateStrategy",
+    "BeamTrackingStrategy",
+    "FrozenStrategy",
+    "strategy_for",
+]

@@ -1,0 +1,331 @@
+"""The staged per-frame session pipeline (system workflow of Fig 3).
+
+The end-to-end per-frame control loop is an ordered list of small stages,
+each implementing the :class:`PipelineStage` protocol and reading/writing
+one shared :class:`FrameContext`:
+
+``Planner`` -> ``FrameEncoder`` -> ``CodingGroupMapper`` -> ``Transmitter``
+-> ``FeedbackUpdater`` -> ``Scorer``
+
+:class:`StreamSession` owns the loop-carried state (bandwidth estimators,
+the current allocation, the last plan time), walks the stages for every
+frame, and emits the observability spans at stage boundaries.  Adaptation
+policy — what happens at beacon boundaries — is delegated to a
+:mod:`repro.core.policy` strategy, so new policies plug in without touching
+the loop.  Custom stage lists and strategies can be injected per session,
+which is how ablations, new baselines and future transports get their seams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..fountain.block import FrameBlockEncoder
+from ..obs import OBS
+from ..quality.curves import FrameFeatureContext
+from ..scheduling import AllocationResult, assign_coding_groups
+from ..transport import BandwidthEstimator
+from ..types import FrameStats, OutcomeStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..phy.csi import CsiTrace
+    from ..scheduling.coding_groups import UnitAssignment
+    from ..transport.transmitter import TransmissionResult
+    from ..video.dataset import FrameQualityProbe
+    from .config import SystemConfig
+    from .policy import AdaptationStrategy
+    from .streamer import MulticastStreamer
+
+
+@dataclass
+class StreamOutcome(OutcomeStats):
+    """Everything a streaming session produced.
+
+    Attributes:
+        stats: One :class:`FrameStats` per (frame, user).
+        mean_ssim: Mean SSIM over all frames and users.
+        mean_psnr_db: Mean PSNR over all frames and users.
+    """
+
+
+@dataclass
+class SessionState:
+    """Loop-carried planning state of one streaming session."""
+
+    bw_estimators: Dict[int, BandwidthEstimator]
+    allocation: Optional[AllocationResult] = None
+    last_plan_time: float = -np.inf
+
+
+@dataclass
+class FrameContext:
+    """Everything one frame accumulates on its way through the stages.
+
+    Stages communicate exclusively through this object: each stage fills in
+    the fields downstream stages consume, so a stage can be swapped out
+    without the others noticing.
+    """
+
+    frame_index: int
+    now: float
+    users: List[int]
+    probe: "FrameQualityProbe"
+    feature_contexts: Dict[int, FrameFeatureContext]
+    allocation: Optional[AllocationResult] = None
+    encoder: Optional[FrameBlockEncoder] = None
+    assignments: Optional[Sequence["UnitAssignment"]] = None
+    true_state: Optional[object] = None
+    rate_limits: Dict[int, float] = field(default_factory=dict)
+    result: Optional["TransmissionResult"] = None
+    deadline_met: bool = True
+    span: Optional[object] = None
+
+
+class PipelineStage(Protocol):
+    """One step of the per-frame loop."""
+
+    name: str
+
+    def run(self, ctx: FrameContext, session: "StreamSession") -> None:
+        """Advance ``ctx``; loop-carried effects go through ``session``."""
+        ...
+
+
+class Planner:
+    """Plan at t=0, then defer beacon-boundary decisions to the strategy."""
+
+    name = "plan"
+
+    def run(self, ctx: FrameContext, session: "StreamSession") -> None:
+        state = session.state
+        config = session.config
+        beacon_due = (
+            ctx.now - state.last_plan_time >= config.beacon_interval_s - 1e-9
+        )
+        if state.allocation is None:
+            snapshot = session.trace.at_time(ctx.now)
+            state.allocation = session.streamer._plan(
+                snapshot.estimated_state, ctx.users, ctx.feature_contexts
+            )
+            state.last_plan_time = ctx.now
+        elif beacon_due:
+            snapshot = session.trace.at_time(ctx.now)
+            state.allocation = session.strategy.on_beacon(
+                session, ctx, snapshot.estimated_state
+            )
+            state.last_plan_time = ctx.now
+        ctx.allocation = state.allocation
+
+
+class FrameEncoder:
+    """Fountain-encode the frame's layered sublayers."""
+
+    name = "encode"
+
+    def run(self, ctx: FrameContext, session: "StreamSession") -> None:
+        ctx.encoder = FrameBlockEncoder(
+            ctx.frame_index, ctx.probe.layered, session.streamer.symbol_size
+        )
+
+
+class CodingGroupMapper:
+    """Map the time allocation onto coding units (Problem 4)."""
+
+    name = "map"
+
+    def run(self, ctx: FrameContext, session: "StreamSession") -> None:
+        allocation = ctx.allocation
+        assert allocation is not None
+        ctx.assignments = assign_coding_groups(
+            allocation.bytes_allocated,
+            allocation.groups,
+            session.streamer.codec.structure.sublayer_nbytes,
+        )
+
+
+class Transmitter:
+    """Paced transmission with feedback rounds over the true channels."""
+
+    name = "transmit"
+
+    def run(self, ctx: FrameContext, session: "StreamSession") -> None:
+        streamer = session.streamer
+        config = session.config
+        allocation = ctx.allocation
+        assert allocation is not None and ctx.encoder is not None
+        assert ctx.assignments is not None
+        ctx.true_state = session.trace.at_time(ctx.now).true_state
+        ctx.rate_limits = streamer._rate_limits(
+            allocation, session.state.bw_estimators
+        )
+        ctx.result = streamer.transmitter.transmit(
+            ctx.encoder,
+            ctx.assignments,
+            allocation.groups,
+            ctx.true_state,
+            config.frame_budget_s,
+            streamer.rng,
+            rate_limits_bytes_per_s=ctx.rate_limits,
+        )
+        ctx.deadline_met = (
+            ctx.result.airtime_s <= config.frame_budget_s + 1e-9
+        )
+
+
+class FeedbackUpdater:
+    """Fold each receiver's delivery fraction into its bandwidth estimate."""
+
+    name = "feedback"
+
+    def run(self, ctx: FrameContext, session: "StreamSession") -> None:
+        assert ctx.result is not None
+        for user in ctx.users:
+            reception = ctx.result.receptions[user]
+            total = reception.packets_received + reception.packets_lost
+            fraction = (
+                reception.packets_received / total if total else 1.0
+            )
+            session.state.bw_estimators[user].observe_fraction(
+                float(np.clip(fraction, 0.0, 1.0)), session.streamer.rng
+            )
+
+
+class Scorer:
+    """Decode at every receiver and score SSIM/PSNR against the reference."""
+
+    name = "score"
+
+    def run(self, ctx: FrameContext, session: "StreamSession") -> None:
+        assert ctx.result is not None
+        for user in ctx.users:
+            reception = ctx.result.receptions[user]
+            masks = reception.decoder.sublayer_masks()
+            quality, quality_db = ctx.probe.measure_masks(masks)
+            session.outcome.stats.append(
+                FrameStats(
+                    frame_index=ctx.frame_index,
+                    user_id=user,
+                    ssim=quality,
+                    psnr_db=quality_db,
+                    bytes_received_per_layer=tuple(
+                        reception.decoder.bytes_received_per_layer()
+                    ),
+                    deadline_met=ctx.deadline_met,
+                )
+            )
+
+
+def default_stages() -> List[PipelineStage]:
+    """The paper's per-frame loop as an ordered stage list."""
+    return [
+        Planner(),
+        FrameEncoder(),
+        CodingGroupMapper(),
+        Transmitter(),
+        FeedbackUpdater(),
+        Scorer(),
+    ]
+
+
+class StreamSession:
+    """Drives one streaming session's frames through the stage pipeline.
+
+    Args:
+        streamer: The component bundle (planner, codec, transmitter, rng)
+            the stages draw from.
+        trace: Recorded CSI trace to stream over.
+        stages: Stage list override (default: :func:`default_stages`).
+        strategy: Adaptation strategy override (default: derived from the
+            streamer's config via :func:`repro.core.policy.strategy_for`).
+    """
+
+    def __init__(
+        self,
+        streamer: "MulticastStreamer",
+        trace: "CsiTrace",
+        stages: Optional[Sequence[PipelineStage]] = None,
+        strategy: Optional["AdaptationStrategy"] = None,
+    ) -> None:
+        from .policy import strategy_for
+
+        self.streamer = streamer
+        self.config: "SystemConfig" = streamer.config
+        self.trace = trace
+        self.users: List[int] = trace.user_ids()
+        self.state = SessionState(
+            bw_estimators={u: BandwidthEstimator() for u in self.users}
+        )
+        self.strategy = (
+            strategy if strategy is not None else strategy_for(streamer.config)
+        )
+        self.stages: List[PipelineStage] = (
+            list(stages) if stages is not None else default_stages()
+        )
+        self.outcome = StreamOutcome()
+
+    def run(self, num_frames: int) -> StreamOutcome:
+        """Stream ``num_frames`` frames and return the session outcome."""
+        total_frames = int(num_frames)
+        if total_frames <= 0:
+            raise ConfigurationError(
+                f"need at least one frame, got {total_frames}"
+            )
+        for frame_index in range(total_frames):
+            with OBS.span("frame.stream", frame=frame_index) as frame_span:
+                ctx = self.frame_context(frame_index)
+                ctx.span = frame_span
+                self._run_stages(ctx)
+                self._finalize_frame(ctx, frame_span)
+        return self.outcome
+
+    def frame_context(self, frame_index: int) -> FrameContext:
+        """The fresh per-frame context the stages will fill in.
+
+        Consecutive frames within one beacon period come from the same
+        reference (real video content is temporally coherent); the probe
+        advances at beacon boundaries, in step with replanning.
+        """
+        config = self.config
+        probes = self.streamer.probes
+        probe = probes[
+            (frame_index // config.frames_per_beacon) % len(probes)
+        ]
+        context = FrameFeatureContext.from_probe(probe)
+        return FrameContext(
+            frame_index=frame_index,
+            now=frame_index / config.fps,
+            users=self.users,
+            probe=probe,
+            feature_contexts={u: context for u in self.users},
+        )
+
+    def _run_stages(self, ctx: FrameContext) -> None:
+        if OBS.mode:
+            for stage in self.stages:
+                with OBS.span(
+                    f"frame.stage.{stage.name}", frame=ctx.frame_index
+                ):
+                    stage.run(ctx, self)
+        else:
+            for stage in self.stages:
+                stage.run(ctx, self)
+
+    def _finalize_frame(self, ctx: FrameContext, frame_span) -> None:
+        if not OBS.mode:
+            return
+        OBS.count("frames.streamed")
+        if not ctx.deadline_met:
+            OBS.count("frames.deadline_missed")
+        assert ctx.allocation is not None and ctx.result is not None
+        frame_span.set(
+            users=len(ctx.users),
+            groups=len(ctx.allocation.groups),
+            packets_sent=ctx.result.packets_sent,
+            airtime_s=ctx.result.airtime_s,
+            feedback_rounds=ctx.result.feedback_rounds_used,
+            deadline_met=ctx.deadline_met,
+        )

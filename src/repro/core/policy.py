@@ -1,0 +1,147 @@
+"""Channel-adaptation strategies for the session pipeline (Sec 4.3.4).
+
+The per-beacon branch of the old monolithic streamer — replan in real time,
+keep only firmware beam tracking, or freeze everything at t=0 — lives here
+as three small strategy objects behind one :class:`AdaptationStrategy`
+interface.  The pipeline's ``Planner`` stage asks the session's strategy
+for the allocation to use whenever a beacon boundary passes; the strategy
+decides whether that means a fresh Problem-1 solve, a firmware sector
+re-alignment, or nothing at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..scheduling import AllocationResult
+from ..types import AdaptationPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..beamforming import SectorCodebook
+    from ..phy.channel import ChannelModel
+    from .config import SystemConfig
+    from .pipeline import FrameContext, StreamSession
+
+
+@runtime_checkable
+class AdaptationStrategy(Protocol):
+    """What a session does at each beacon boundary after the initial plan."""
+
+    name: str
+
+    def on_beacon(
+        self,
+        session: "StreamSession",
+        ctx: "FrameContext",
+        estimated_state,
+    ) -> AllocationResult:
+        """Return the allocation to carry forward from this beacon on."""
+        ...
+
+
+class RealtimeUpdateStrategy:
+    """Re-solve beams, rates and the time allocation every beacon."""
+
+    name = "realtime_update"
+
+    def on_beacon(
+        self, session: "StreamSession", ctx: "FrameContext", estimated_state
+    ) -> AllocationResult:
+        return session.streamer._plan(
+            estimated_state, ctx.users, ctx.feature_contexts
+        )
+
+
+class BeamTrackingStrategy:
+    """No Update, but with the NIC's autonomous sector tracking.
+
+    "No Update" freezes the schedule, groups, MCS, time allocation and the
+    *optimized* beam weights at t=0 — but 802.11ad NICs autonomously keep a
+    codebook sector aligned (mandatory beam tracking), so each group falls
+    back to the best predefined sector for its members.
+    """
+
+    name = "no_update"
+
+    def on_beacon(
+        self, session: "StreamSession", ctx: "FrameContext", estimated_state
+    ) -> AllocationResult:
+        allocation = session.state.allocation
+        assert allocation is not None
+        return self.retrack_beams(
+            session.streamer.codebook,
+            session.streamer.channel_model,
+            allocation,
+            estimated_state,
+        )
+
+    @staticmethod
+    def retrack_beams(
+        codebook: "SectorCodebook",
+        channel_model: "ChannelModel",
+        allocation: AllocationResult,
+        estimated_state,
+    ) -> AllocationResult:
+        """Firmware-level sector re-alignment for the No-Update baseline.
+
+        Replaces each group's (stale) beam with the best *predefined
+        codebook sector* for its members — what the NIC's autonomous beam
+        tracking maintains — without touching MCS, groups or allocation.
+        """
+        new_groups = []
+        for group in allocation.groups:
+            try:
+                channels = [
+                    estimated_state.channels[u] for u in group.user_ids
+                ]
+                gains = codebook.gains_multi(list(channels))
+                sector = codebook.beam(int(np.argmax(gains.min(axis=1))))
+                sector_gain = min(
+                    channel_model.array.beam_gain(sector, h) for h in channels
+                )
+                frozen_gain = min(
+                    channel_model.array.beam_gain(group.plan.beam, h)
+                    for h in channels
+                )
+                # Firmware switches sectors only when the tracked sector
+                # beats the currently configured beam.
+                if sector_gain > frozen_gain:
+                    new_groups.append(
+                        dc_replace(group, plan=dc_replace(group.plan, beam=sector))
+                    )
+                else:
+                    new_groups.append(group)
+            except KeyError:
+                new_groups.append(group)
+        return AllocationResult(
+            groups=new_groups,
+            time_s=allocation.time_s,
+            bytes_allocated=allocation.bytes_allocated,
+            per_user_bytes=allocation.per_user_bytes,
+            predicted_quality=allocation.predicted_quality,
+        )
+
+
+class FrozenStrategy:
+    """No Update with beam tracking disabled: everything stays at t=0."""
+
+    name = "no_update_frozen"
+
+    def on_beacon(
+        self, session: "StreamSession", ctx: "FrameContext", estimated_state
+    ) -> AllocationResult:
+        allocation = session.state.allocation
+        assert allocation is not None
+        return allocation
+
+
+def strategy_for(config: "SystemConfig") -> AdaptationStrategy:
+    """The strategy object a config's adaptation knobs select."""
+    if config.adaptation is AdaptationPolicy.REALTIME_UPDATE:
+        return RealtimeUpdateStrategy()
+    if config.no_update_beam_tracking:
+        return BeamTrackingStrategy()
+    return FrozenStrategy()

@@ -1,27 +1,24 @@
 """The end-to-end multicast streamer (system workflow of Fig 3).
 
-Per beacon interval (100 ms): fetch estimated CSI, compute multicast beams
-and group rates, and re-optimize the time allocation (Problem 1).  Per video
-frame (33 ms): fountain-encode the frame, map the allocation onto coding
-units (Problem 4), transmit with leaky-bucket pacing and feedback-driven
-makeup packets over the true channels, then decode at every receiver and
-score SSIM/PSNR against the reference frame.
-
-The ``No Update`` adaptation policy (Sec 4.3.4 baseline) computes beams,
-rates and allocation once at t=0 and never adapts.
+:class:`MulticastStreamer` assembles the component bundle — codec,
+codebook, beam planner, group enumerator, time-allocation optimizer and
+transmitter — and streams traces by driving a
+:class:`repro.core.pipeline.StreamSession` through the staged per-frame
+pipeline.  Per beacon interval (100 ms) the session's ``Planner`` stage
+re-optimizes (or, for the ``No Update`` baseline of Sec 4.3.4, applies the
+configured :mod:`repro.core.policy` strategy); per video frame (33 ms) the
+remaining stages fountain-encode, map the allocation onto coding units,
+transmit with leaky-bucket pacing and feedback-driven makeup packets over
+the true channels, then decode at every receiver and score SSIM/PSNR.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace as dc_replace
 from typing import Dict, List, Optional, Sequence
-
-import numpy as np
 
 from ..beamforming import GroupBeamPlanner, SectorCodebook
 from ..errors import ConfigurationError
-from ..obs import OBS
-from ..fountain.block import FrameBlockEncoder, symbol_size_for
+from ..fountain.block import symbol_size_for
 from ..phy.channel import ChannelModel
 from ..phy.csi import CsiTrace
 from ..quality.curves import FrameFeatureContext
@@ -30,66 +27,17 @@ from ..scheduling import (
     AllocationResult,
     GroupEnumerator,
     TimeAllocationOptimizer,
-    assign_coding_groups,
     round_robin_allocation,
 )
 from ..transport import BandwidthEstimator, FrameTransmitter, LinkModel
-from ..types import (
-    AdaptationPolicy,
-    FrameStats,
-    SchedulerKind,
-    validate_seed,
-)
+from ..types import SchedulerKind, validate_seed
 from ..video.dataset import FrameQualityProbe
 from ..video.jigsaw import JigsawCodec
 from .config import SystemConfig
+from .pipeline import PipelineStage, StreamOutcome, StreamSession
+from .policy import AdaptationStrategy
 
-
-@dataclass
-class StreamOutcome:
-    """Everything a streaming session produced.
-
-    Attributes:
-        stats: One :class:`FrameStats` per (frame, user).
-        mean_ssim: Mean SSIM over all frames and users.
-        mean_psnr_db: Mean PSNR over all frames and users.
-    """
-
-    stats: List[FrameStats] = field(default_factory=list)
-
-    @property
-    def mean_ssim(self) -> float:
-        if not self.stats:
-            return float("nan")
-        return float(np.mean([s.ssim for s in self.stats]))
-
-    @property
-    def mean_psnr_db(self) -> float:
-        if not self.stats:
-            return float("nan")
-        return float(np.mean([s.psnr_db for s in self.stats]))
-
-    def per_user_ssim(self) -> Dict[int, float]:
-        """Mean SSIM per user."""
-        users = sorted({s.user_id for s in self.stats})
-        return {
-            u: float(np.mean([s.ssim for s in self.stats if s.user_id == u]))
-            for u in users
-        }
-
-    def ssim_series(self, user_id: int) -> List[float]:
-        """Per-frame SSIM of one user, in frame order."""
-        return [s.ssim for s in sorted(self.stats, key=lambda x: x.frame_index)
-                if s.user_id == user_id]
-
-
-@dataclass
-class _SessionState:
-    """Loop-carried planning state of one streaming session."""
-
-    bw_estimators: Dict[int, BandwidthEstimator]
-    allocation: Optional[AllocationResult] = None
-    last_plan_time: float = -np.inf
+__all__ = ["MulticastStreamer", "StreamOutcome"]
 
 
 class MulticastStreamer:
@@ -167,129 +115,22 @@ class MulticastStreamer:
 
     # ------------------------------------------------------------------ run
 
+    def session(
+        self,
+        trace: CsiTrace,
+        stages: Optional[Sequence[PipelineStage]] = None,
+        strategy: Optional[AdaptationStrategy] = None,
+    ) -> StreamSession:
+        """A new staged session over ``trace`` (stage/strategy injectable)."""
+        return StreamSession(self, trace, stages=stages, strategy=strategy)
+
     def stream_trace(
         self, trace: CsiTrace, num_frames: Optional[int] = None
     ) -> StreamOutcome:
         """Stream ``num_frames`` frames over a recorded CSI trace."""
-        config = self.config
         if num_frames is None:
-            num_frames = int(trace.duration_s * config.fps)
-        total_frames = int(num_frames)
-        if total_frames <= 0:
-            raise ConfigurationError(
-                f"need at least one frame, got {total_frames}"
-            )
-        users = trace.user_ids()
-
-        state = _SessionState(
-            bw_estimators={u: BandwidthEstimator() for u in users}
-        )
-        outcome = StreamOutcome()
-
-        for frame_idx in range(total_frames):
-            with OBS.span("frame.stream", frame=frame_idx) as frame_span:
-                self._stream_frame(
-                    frame_idx, trace, users, state, outcome, frame_span
-                )
-        return outcome
-
-    def _stream_frame(
-        self,
-        frame_idx: int,
-        trace: CsiTrace,
-        users: List[int],
-        state: "_SessionState",
-        outcome: StreamOutcome,
-        frame_span,
-    ) -> None:
-        """Plan (at beacon boundaries), transmit and score one frame."""
-        config = self.config
-        now = frame_idx / config.fps
-        # Consecutive frames within one beacon period come from the same
-        # reference (real video content is temporally coherent); the
-        # probe advances at beacon boundaries, in step with replanning.
-        probe_idx = (frame_idx // config.frames_per_beacon) % len(self.probes)
-        probe = self.probes[probe_idx]
-        context = FrameFeatureContext.from_probe(probe)
-        contexts = {u: context for u in users}
-
-        beacon_due = now - state.last_plan_time >= config.beacon_interval_s - 1e-9
-        if state.allocation is None:
-            snapshot = trace.at_time(now)
-            state.allocation = self._plan(snapshot.estimated_state, users, contexts)
-            state.last_plan_time = now
-        elif beacon_due:
-            snapshot = trace.at_time(now)
-            if config.adaptation is AdaptationPolicy.REALTIME_UPDATE:
-                state.allocation = self._plan(
-                    snapshot.estimated_state, users, contexts
-                )
-            elif config.no_update_beam_tracking:
-                # "No Update" freezes the schedule, groups, MCS, time
-                # allocation and the *optimized* beam weights at t=0 —
-                # but 802.11ad NICs autonomously keep a codebook sector
-                # aligned (mandatory beam tracking), so each group falls
-                # back to the best predefined sector for its members.
-                state.allocation = self._retrack_beams(
-                    state.allocation, snapshot.estimated_state
-                )
-            state.last_plan_time = now
-
-        allocation = state.allocation
-        assert allocation is not None
-        encoder = FrameBlockEncoder(frame_idx, probe.layered, self.symbol_size)
-        assignments = assign_coding_groups(
-            allocation.bytes_allocated,
-            allocation.groups,
-            self.codec.structure.sublayer_nbytes,
-        )
-        true_state = trace.at_time(now).true_state
-        rate_limits = self._rate_limits(allocation, state.bw_estimators)
-        result = self.transmitter.transmit(
-            encoder,
-            assignments,
-            allocation.groups,
-            true_state,
-            config.frame_budget_s,
-            self.rng,
-            rate_limits_bytes_per_s=rate_limits,
-        )
-        deadline_met = result.airtime_s <= config.frame_budget_s + 1e-9
-        for user in users:
-            reception = result.receptions[user]
-            masks = reception.decoder.sublayer_masks()
-            quality, quality_db = probe.measure_masks(masks)
-            outcome.stats.append(
-                FrameStats(
-                    frame_index=frame_idx,
-                    user_id=user,
-                    ssim=quality,
-                    psnr_db=quality_db,
-                    bytes_received_per_layer=tuple(
-                        reception.decoder.bytes_received_per_layer()
-                    ),
-                    deadline_met=deadline_met,
-                )
-            )
-            total = reception.packets_received + reception.packets_lost
-            fraction = (
-                reception.packets_received / total if total else 1.0
-            )
-            state.bw_estimators[user].observe_fraction(
-                float(np.clip(fraction, 0.0, 1.0)), self.rng
-            )
-        if OBS.mode:
-            OBS.count("frames.streamed")
-            if not deadline_met:
-                OBS.count("frames.deadline_missed")
-            frame_span.set(
-                users=len(users),
-                groups=len(allocation.groups),
-                packets_sent=result.packets_sent,
-                airtime_s=result.airtime_s,
-                feedback_rounds=result.feedback_rounds_used,
-                deadline_met=deadline_met,
-            )
+            num_frames = int(trace.duration_s * self.config.fps)
+        return self.session(trace).run(int(num_frames))
 
     # ------------------------------------------------------------------ parts
 
@@ -305,48 +146,6 @@ class MulticastStreamer:
                 groups, contexts, self.config.plan_budget_s
             )
         return self.optimizer.optimize(groups, contexts, self.config.plan_budget_s)
-
-    def _retrack_beams(self, allocation: AllocationResult, estimated_state):
-        """Firmware-level sector re-alignment for the No-Update baseline.
-
-        Replaces each group's (stale) beam with the best *predefined
-        codebook sector* for its members — what the NIC's autonomous beam
-        tracking maintains — without touching MCS, groups or allocation.
-        """
-        import numpy as _np
-
-        new_groups = []
-        for group in allocation.groups:
-            try:
-                channels = [
-                    estimated_state.channels[u] for u in group.user_ids
-                ]
-                gains = self.codebook.gains_multi(list(channels))
-                sector = self.codebook.beam(int(_np.argmax(gains.min(axis=1))))
-                sector_gain = min(
-                    self.channel_model.array.beam_gain(sector, h) for h in channels
-                )
-                frozen_gain = min(
-                    self.channel_model.array.beam_gain(group.plan.beam, h)
-                    for h in channels
-                )
-                # Firmware switches sectors only when the tracked sector
-                # beats the currently configured beam.
-                if sector_gain > frozen_gain:
-                    new_groups.append(
-                        dc_replace(group, plan=dc_replace(group.plan, beam=sector))
-                    )
-                else:
-                    new_groups.append(group)
-            except KeyError:
-                new_groups.append(group)
-        return AllocationResult(
-            groups=new_groups,
-            time_s=allocation.time_s,
-            bytes_allocated=allocation.bytes_allocated,
-            per_user_bytes=allocation.per_user_bytes,
-            predicted_quality=allocation.predicted_quality,
-        )
 
     def _rate_limits(
         self,

@@ -8,11 +8,18 @@ mobile experiments.
 """
 
 from .analysis import TraceSummary, classify_regime, summarize_trace, trace_rss_series
+from .context import ExperimentContext, build_context, trace_for_placement
 from .scenario import EmulationScenario
 from .stats import BoxStats, summarize
+from .sweep import (
+    Variant,
+    merge_runs,
+    run_session_sweep,
+    run_variant_sweep,
+    variant_from_spec,
+)
 from .runner import (
-    ExperimentContext,
-    build_context,
+    MOBILE_APPROACHES,
     run_ablation,
     run_beamforming_comparison,
     run_mobile_comparison,
@@ -29,6 +36,13 @@ __all__ = [
     "summarize",
     "ExperimentContext",
     "build_context",
+    "trace_for_placement",
+    "Variant",
+    "variant_from_spec",
+    "merge_runs",
+    "run_variant_sweep",
+    "run_session_sweep",
+    "MOBILE_APPROACHES",
     "run_beamforming_comparison",
     "run_scheduler_comparison",
     "run_ablation",

@@ -1,265 +1,50 @@
 """Experiment runners shared by the benchmark harness.
 
-Builds the heavyweight shared state once (trained DNN quality model — disk
-cached — plus encoded reference-frame probes), then exposes one runner per
-experiment family:
+Thin, figure-oriented shims over the generic variant-sweep engine
+(:mod:`repro.emulation.sweep`), one per experiment family:
 
 * :func:`run_beamforming_comparison` — Figs 5, 6, 7, 11, 12, 13
 * :func:`run_scheduler_comparison` — Figs 8, 15
 * :func:`run_ablation` — Figs 9, 10, 14 (rate control / source coding)
 * :func:`run_mobile_comparison` — Figs 16, 17 (vs No Update and the MPCs)
 
-Each runner returns raw per-run samples so the benchmarks can print the same
-box statistics the paper plots.
+Each runner builds its variant list, delegates to
+:func:`~repro.emulation.sweep.run_variant_sweep` (random placements) or
+:func:`~repro.emulation.sweep.run_session_sweep` (one shared mobile trace),
+and returns raw per-run samples so the benchmarks can print the same box
+statistics the paper plots.  Seed schedules are per-family constants, so
+metrics are identical at any job count and unchanged from the historical
+monolithic runners.
 
-Runs are independent and individually seeded, so every runner fans them
-across cores through :func:`repro.perf.parallel.parallel_map` (worker count
-from its ``jobs`` argument or the ``REPRO_JOBS`` environment variable;
-``jobs=1`` stays a plain serial loop).  The shared
-:class:`ExperimentContext` is installed in each worker once via the pool
-initializer, and results merge in run order, so metrics are identical at
-any job count.
+The heavyweight shared state lives in :mod:`repro.emulation.context`
+(re-exported here for compatibility).
 """
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass, field, replace
-from pathlib import Path
+from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
-from ..baselines import (
-    FastMpc,
-    FreezeModel,
-    RateQualityModel,
-    RobustMpc,
-    simulate_abr_session,
-)
-from ..core import MulticastStreamer, SystemConfig
+from ..baselines import AbrSession, FastMpc, RobustMpc
+from ..core import MulticastStreamer
 from ..errors import EmulationError
-from ..obs import OBS
-from ..perf.parallel import parallel_map
-from ..quality.dnn import DNNQualityModel
-from ..types import (
-    AdaptationPolicy,
-    BeamformingScheme,
-    Richness,
-    SchedulerKind,
+from ..types import AdaptationPolicy, BeamformingScheme, SchedulerKind
+from .context import (  # noqa: F401  (re-exported public API)
+    DEFAULT_FRAMES,
+    DEFAULT_RUNS,
+    ExperimentContext,
+    build_context,
+    trace_for_placement,
 )
-from ..video.dataset import FrameQualityProbe, generate_dataset
-from ..video.jigsaw import JigsawCodec
-from ..video.synthetic import SyntheticVideo, make_standard_videos
-from .scenario import EmulationScenario
+from .sweep import (
+    Variant,
+    install_context,
+    run_session_sweep,
+    run_variant_sweep,
+)
 
-#: Default number of random runs per configuration (paper: 10 testbed /
-#: 100 emulation; reduce for tractable CI, override via REPRO_BENCH_RUNS).
-DEFAULT_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "3"))
-
-#: Default frames streamed per run (paper streams minutes; the per-frame
-#: metric converges within a dozen frames under static channels).
-DEFAULT_FRAMES = int(os.environ.get("REPRO_BENCH_FRAMES", "9"))
-
-
-@dataclass
-class ExperimentContext:
-    """Heavyweight shared state for all experiments."""
-
-    height: int
-    width: int
-    dnn: DNNQualityModel
-    videos: List[SyntheticVideo]
-    probes: List[FrameQualityProbe]
-    scenario: EmulationScenario
-    base_config: SystemConfig
-    _freeze: Optional[FreezeModel] = field(default=None, repr=False)
-
-    @property
-    def hr_video(self) -> SyntheticVideo:
-        """The high-richness video the default experiments stream."""
-        return self.videos[0]
-
-    def freeze_model(self) -> FreezeModel:
-        """Lazily built temporal-decay model for the ABR baselines."""
-        if self._freeze is None:
-            self._freeze = FreezeModel.from_video(self.hr_video)
-        return self._freeze
-
-    def rate_quality(self) -> RateQualityModel:
-        """Rate-quality model of the DASH encodings at this resolution."""
-        return RateQualityModel(
-            richness=Richness.HIGH,
-            pixels_per_frame=self.height * self.width,
-            fps=self.base_config.fps,
-        )
-
-    def config(self, **overrides) -> SystemConfig:
-        """A copy of the base config with overrides applied."""
-        return replace(self.base_config, **overrides)
-
-
-def _cache_dir() -> Path:
-    root = os.environ.get("REPRO_CACHE_DIR")
-    path = Path(root) if root else Path.home() / ".cache" / "repro_wigig"
-    path.mkdir(parents=True, exist_ok=True)
-    return path
-
-
-def build_context(
-    height: int = 288,
-    width: int = 512,
-    dnn_epochs: int = 300,
-    probe_frames: int = 4,
-    seed: int = 0,
-    use_cache: bool = True,
-) -> ExperimentContext:
-    """Build (or load from cache) the shared experiment context."""
-    videos = make_standard_videos(height=height, width=width, num_frames=16, seed=7)
-    cache_file = _cache_dir() / f"dnn_{height}x{width}_e{dnn_epochs}_s{seed}.npz"
-    if use_cache and cache_file.exists():
-        dnn = DNNQualityModel.load(cache_file)
-    else:
-        dataset = generate_dataset(
-            videos, frames_per_video=3, samples_per_frame=24, seed=seed
-        )
-        dnn = DNNQualityModel(epochs=dnn_epochs, seed=seed)
-        dnn.fit(dataset.features, dataset.ssim)
-        if use_cache:
-            dnn.save(cache_file)
-    codec = JigsawCodec(height, width)
-    # The paper evaluates on 2 HR + 2 LR sequences and reports the average;
-    # we cycle probes drawn from one HR and one LR video.
-    probes = []
-    for video in (videos[0], videos[3]):
-        indices = np.unique(
-            np.linspace(0, video.num_frames - 1, max(1, probe_frames // 2)).astype(int)
-        )
-        probes.extend(
-            FrameQualityProbe.from_frame(codec, video.frame(int(i)))
-            for i in indices
-        )
-    return ExperimentContext(
-        height=height,
-        width=width,
-        dnn=dnn,
-        videos=videos,
-        probes=probes,
-        scenario=EmulationScenario(seed=seed),
-        base_config=SystemConfig(height=height, width=width),
-    )
-
-
-# ---------------------------------------------------------------- placements
-
-
-def trace_for_placement(
-    ctx: ExperimentContext,
-    num_users: int,
-    placement: Tuple,
-    run_seed: int,
-):
-    """Build a static trace for an ('arc', d, mas) or ('range', d0, d1, mas)
-    placement spec."""
-    kind = placement[0]
-    if kind == "arc":
-        _, distance, mas = placement
-        positions = ctx.scenario.place_arc(num_users, distance, mas, seed=run_seed)
-    elif kind == "range":
-        _, dmin, dmax, mas = placement
-        positions = ctx.scenario.place_random_range(
-            num_users, dmin, dmax, mas, seed=run_seed
-        )
-    else:
-        raise EmulationError(f"unknown placement kind {kind!r}")
-    return ctx.scenario.static_trace(positions, duration_s=1.0, seed=run_seed + 1)
-
-
-# ----------------------------------------------------------- worker plumbing
-
-#: Shared context inside pool workers (installed once per worker by the
-#: pool initializer; the serial path installs it in-process).
-_WORKER_CTX: Optional[ExperimentContext] = None
-
-
-def _install_context(ctx: ExperimentContext) -> None:
-    """Pool initializer: make the heavyweight context a worker global."""
-    global _WORKER_CTX
-    _WORKER_CTX = ctx
-
-
-def _stream_sample(
-    ctx: ExperimentContext,
-    config: SystemConfig,
-    trace,
-    frames: int,
-    seed: int,
-) -> Tuple[float, float]:
-    """One streaming session's (mean SSIM, mean PSNR)."""
-    with OBS.span("emulation.run", frames=frames, seed=seed) as span:
-        streamer = MulticastStreamer(
-            config, ctx.dnn, ctx.probes, ctx.scenario.channel_model, seed=seed
-        )
-        outcome = streamer.stream_trace(trace, num_frames=frames)
-        span.set(mean_ssim=outcome.mean_ssim)
-    return outcome.mean_ssim, outcome.mean_psnr_db
-
-
-def _beamforming_run(args) -> Dict[str, Tuple[float, float]]:
-    """One random placement, every beamforming scheme (worker task)."""
-    run, num_users, placement, schemes, frames, overrides = args
-    ctx = _WORKER_CTX
-    run_seed = 1000 + 17 * run
-    trace = trace_for_placement(ctx, num_users, placement, run_seed)
-    out: Dict[str, Tuple[float, float]] = {}
-    for scheme in schemes:
-        config = ctx.config(scheme=scheme, **(overrides or {}))
-        out[scheme.value] = _stream_sample(ctx, config, trace, frames, run_seed + 7)
-    return out
-
-
-def _scheduler_run(args) -> Dict[str, Tuple[float, float]]:
-    """One random placement, both schedulers (worker task)."""
-    run, num_users, placement, frames = args
-    ctx = _WORKER_CTX
-    run_seed = 2000 + 13 * run
-    trace = trace_for_placement(ctx, num_users, placement, run_seed)
-    out: Dict[str, Tuple[float, float]] = {}
-    for kind in SchedulerKind:
-        config = ctx.config(scheduler=kind)
-        out[kind.value] = _stream_sample(ctx, config, trace, frames, run_seed + 7)
-    return out
-
-
-def _ablation_run(args) -> Dict[str, Tuple[float, float]]:
-    """One random placement, ablation axis on and off (worker task)."""
-    run, axis, num_users, placement, frames = args
-    ctx = _WORKER_CTX
-    run_seed = 3000 + 29 * run
-    trace = trace_for_placement(ctx, num_users, placement, run_seed)
-    out: Dict[str, Tuple[float, float]] = {}
-    for enabled in (True, False):
-        config = ctx.config(**{axis: enabled})
-        key = f"with_{axis}" if enabled else f"without_{axis}"
-        out[key] = _stream_sample(ctx, config, trace, frames, run_seed + 7)
-    return out
-
-
-def _merge_runs(
-    keys: Sequence[str], per_run: Sequence[Dict[str, Tuple[float, float]]]
-) -> Dict[str, Dict[str, List[float]]]:
-    """Stitch ordered per-run samples back into the per-key series shape."""
-    results: Dict[str, Dict[str, List[float]]] = {
-        key: {"ssim": [], "psnr": []} for key in keys
-    }
-    for run_result in per_run:
-        for key, (ssim_value, psnr_value) in run_result.items():
-            results[key]["ssim"].append(ssim_value)
-            results[key]["psnr"].append(psnr_value)
-    return results
-
-
-# ------------------------------------------------------------------- runners
+#: Back-compat alias for the pool initializer's historical private name.
+_install_context = install_context
 
 
 def run_beamforming_comparison(
@@ -273,18 +58,14 @@ def run_beamforming_comparison(
     jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, List[float]]]:
     """Per-scheme SSIM/PSNR samples over random placements."""
-    schemes = tuple(schemes)
-    per_run = parallel_map(
-        _beamforming_run,
-        [
-            (run, num_users, placement, schemes, frames, config_overrides)
-            for run in range(runs)
-        ],
-        jobs=jobs,
-        initializer=_install_context,
-        initargs=(ctx,),
+    variants = [
+        Variant(scheme.value, {"scheme": scheme, **(config_overrides or {})})
+        for scheme in schemes
+    ]
+    return run_variant_sweep(
+        ctx, variants, num_users, placement, runs, frames,
+        jobs=jobs, seed_base=1000, seed_stride=17,
     )
-    return _merge_runs([s.value for s in schemes], per_run)
 
 
 def run_scheduler_comparison(
@@ -296,14 +77,13 @@ def run_scheduler_comparison(
     jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, List[float]]]:
     """Optimized scheduler vs round-robin (both with optimized multicast)."""
-    per_run = parallel_map(
-        _scheduler_run,
-        [(run, num_users, placement, frames) for run in range(runs)],
-        jobs=jobs,
-        initializer=_install_context,
-        initargs=(ctx,),
+    variants = [
+        Variant(kind.value, {"scheduler": kind}) for kind in SchedulerKind
+    ]
+    return run_variant_sweep(
+        ctx, variants, num_users, placement, runs, frames,
+        jobs=jobs, seed_base=2000, seed_stride=13,
     )
-    return _merge_runs([kind.value for kind in SchedulerKind], per_run)
 
 
 def run_ablation(
@@ -318,55 +98,57 @@ def run_ablation(
     """On/off comparison along ``'source_coding'`` or ``'rate_control'``."""
     if axis not in ("source_coding", "rate_control"):
         raise EmulationError(f"unknown ablation axis {axis!r}")
-    per_run = parallel_map(
-        _ablation_run,
-        [(run, axis, num_users, placement, frames) for run in range(runs)],
-        jobs=jobs,
-        initializer=_install_context,
-        initargs=(ctx,),
+    variants = [
+        Variant(f"with_{axis}", {axis: True}),
+        Variant(f"without_{axis}", {axis: False}),
+    ]
+    return run_variant_sweep(
+        ctx, variants, num_users, placement, runs, frames,
+        jobs=jobs, seed_base=3000, seed_stride=29,
     )
-    return _merge_runs([f"with_{axis}", f"without_{axis}"], per_run)
 
 
 #: The four approaches of the mobile comparison (Sec 4.3.4).
 MOBILE_APPROACHES = ("realtime_update", "no_update", "robust_mpc", "fast_mpc")
 
 
-def _mobile_run(args) -> Tuple[str, List[float]]:
-    """One approach's mean-over-users SSIM series (worker task)."""
-    approach, trace, num_users, num_frames, seed = args
-    ctx = _WORKER_CTX
-    if approach in ("realtime_update", "no_update"):
-        policy = (
-            AdaptationPolicy.REALTIME_UPDATE
-            if approach == "realtime_update"
-            else AdaptationPolicy.NO_UPDATE
-        )
-        config = ctx.config(adaptation=policy)
-        streamer = MulticastStreamer(
-            config, ctx.dnn, ctx.probes, ctx.scenario.channel_model, seed=seed + 7
-        )
-        outcome = streamer.stream_trace(trace, num_frames=num_frames)
+def _multicast_session(policy: AdaptationPolicy, ctx: ExperimentContext, seed: int):
+    """Session factory for the multicast system under one adaptation policy."""
+    config = ctx.config(adaptation=policy)
+    return MulticastStreamer(
+        config, ctx.dnn, ctx.probes, ctx.scenario.channel_model, seed=seed + 7
+    )
+
+
+def _abr_session(controller_factory, ctx: ExperimentContext, seed: int):
+    """Session factory for one MPC baseline (unicast DASH)."""
+    return AbrSession(
+        controller_factory,
+        ctx.scenario.channel_model,
+        ctx.rate_quality(),
+        ctx.freeze_model(),
+        fps=ctx.base_config.fps,
+        rate_scale=ctx.base_config.rate_scale,
+        seed=seed + 7,
+    )
+
+
+def mobile_variant(approach: str) -> Variant:
+    """The session-factory variant for one mobile-comparison approach."""
+    if approach == "realtime_update":
+        factory = partial(_multicast_session, AdaptationPolicy.REALTIME_UPDATE)
+    elif approach == "no_update":
+        factory = partial(_multicast_session, AdaptationPolicy.NO_UPDATE)
+    elif approach == "robust_mpc":
+        factory = partial(_abr_session, RobustMpc)
+    elif approach == "fast_mpc":
+        factory = partial(_abr_session, FastMpc)
     else:
-        factory = RobustMpc if approach == "robust_mpc" else FastMpc
-        outcome = simulate_abr_session(
-            factory,
-            trace,
-            ctx.scenario.channel_model,
-            ctx.rate_quality(),
-            ctx.freeze_model(),
-            num_frames=num_frames,
-            fps=ctx.base_config.fps,
-            rate_scale=ctx.base_config.rate_scale,
-            seed=seed + 7,
+        raise EmulationError(
+            f"unknown mobile approach {approach!r} "
+            f"(known: {', '.join(MOBILE_APPROACHES)})"
         )
-    per_frame = np.zeros(num_frames)
-    for user in range(num_users):
-        user_series = outcome.ssim_series(user)
-        per_frame[: len(user_series)] += np.asarray(
-            user_series[:num_frames]
-        ) / num_users
-    return approach, per_frame.tolist()
+    return Variant(approach, session_factory=factory)
 
 
 def run_mobile_comparison(
@@ -405,15 +187,7 @@ def run_mobile_comparison(
             num_users, moving_users, duration_s, rss_regime=regime, seed=seed
         )
     num_frames = int(duration_s * ctx.base_config.fps)
-
-    per_approach = parallel_map(
-        _mobile_run,
-        [
-            (approach, trace, num_users, num_frames, seed)
-            for approach in approaches
-        ],
-        jobs=jobs,
-        initializer=_install_context,
-        initargs=(ctx,),
+    variants = [mobile_variant(approach) for approach in approaches]
+    return run_session_sweep(
+        ctx, variants, trace, num_users, num_frames, seed=seed, jobs=jobs
     )
-    return {approach: series for approach, series in per_approach}

@@ -1,0 +1,339 @@
+"""Generic variant-sweep engine for the emulation experiments.
+
+Every experiment family in the paper is the same shape: stream the *same*
+channel conditions under a handful of configuration **variants** and
+compare the resulting quality.  This module owns that shape once:
+
+* :class:`Variant` names one arm of a comparison — either a set of
+  :class:`~repro.core.SystemConfig` field overrides, or (for approaches
+  that are not config-expressible, like the MPC baselines) a
+  ``session_factory`` building any object with the
+  ``stream_trace(trace, num_frames)`` session interface.
+* :func:`run_variant_sweep` fans **placements** (independent, individually
+  seeded runs) across cores via
+  :func:`repro.perf.parallel.parallel_map`, streaming every variant on
+  each placement's trace, and merges per-run samples into per-variant
+  SSIM/PSNR series.
+* :func:`run_session_sweep` fans **variants** over one shared trace and
+  returns each variant's mean-over-users SSIM time series — the
+  trace-driven mobile comparison (Sec 4.3.4).
+
+The legacy ``run_beamforming_comparison`` / ``run_scheduler_comparison`` /
+``run_ablation`` / ``run_mobile_comparison`` runners are thin shims over
+these two entry points, so results are reproducible at any job count and
+new comparison axes need only a variant list.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from ..core import MulticastStreamer, SystemConfig
+from ..errors import EmulationError
+from ..obs import OBS
+from ..perf.parallel import parallel_map
+from .context import ExperimentContext, trace_for_placement
+
+__all__ = [
+    "Variant",
+    "variant_from_spec",
+    "parse_config_overrides",
+    "install_context",
+    "merge_runs",
+    "run_variant_sweep",
+    "run_session_sweep",
+]
+
+#: A factory building a session object for ``(ctx, seed)``; the returned
+#: object must expose ``stream_trace(trace, num_frames)``.
+SessionFactory = Callable[[ExperimentContext, int], Any]
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One arm of a comparison sweep.
+
+    Args:
+        name: Result key for this arm.
+        config_overrides: :class:`SystemConfig` fields that define the arm
+            (the default multicast streamer is built around the overridden
+            config).  ``None``/empty means the base config.
+        session_factory: Alternative to overrides — builds the session
+            object itself, for arms that are not config-expressible.
+    """
+
+    name: str
+    config_overrides: Optional[Mapping[str, Any]] = None
+    session_factory: Optional[SessionFactory] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise EmulationError("variant needs a non-empty name")
+        if self.config_overrides and self.session_factory:
+            raise EmulationError(
+                f"variant {self.name!r}: config_overrides and "
+                "session_factory are mutually exclusive"
+            )
+
+    def build_session(self, ctx: ExperimentContext, seed: int) -> Any:
+        """The session object this variant streams with."""
+        if self.session_factory is not None:
+            return self.session_factory(ctx, seed)
+        config = ctx.config(**dict(self.config_overrides or {}))
+        return MulticastStreamer(
+            config, ctx.dnn, ctx.probes, ctx.scenario.channel_model, seed=seed
+        )
+
+
+def parse_config_overrides(pairs: Mapping[str, str]) -> Dict[str, Any]:
+    """Coerce ``field=value`` strings to typed :class:`SystemConfig` values.
+
+    Enum fields accept the enum's value (e.g. ``scheduler=round_robin``),
+    booleans accept on/off/true/false/1/0; numbers are cast to the field
+    type.  Unknown fields raise :class:`EmulationError` so CLI typos fail
+    loudly instead of silently streaming the base config.
+    """
+    fields = {f.name: f for f in dataclasses.fields(SystemConfig)}
+    config_defaults = SystemConfig()
+    overrides: Dict[str, Any] = {}
+    for name, raw in pairs.items():
+        if name not in fields:
+            raise EmulationError(
+                f"unknown SystemConfig field {name!r} "
+                f"(known: {', '.join(sorted(fields))})"
+            )
+        current = getattr(config_defaults, name)
+        if isinstance(current, enum.Enum):
+            overrides[name] = type(current)(raw)
+        elif isinstance(current, bool):
+            lowered = str(raw).strip().lower()
+            if lowered in ("1", "true", "on", "yes"):
+                overrides[name] = True
+            elif lowered in ("0", "false", "off", "no"):
+                overrides[name] = False
+            else:
+                raise EmulationError(
+                    f"field {name!r} expects a boolean, got {raw!r}"
+                )
+        elif isinstance(current, int):
+            overrides[name] = int(raw)
+        elif isinstance(current, float):
+            overrides[name] = float(raw)
+        else:
+            overrides[name] = raw
+    return overrides
+
+
+def variant_from_spec(spec: str) -> Variant:
+    """Parse ``'name'`` or ``'name:field=value,field=value'`` CLI specs."""
+    name, _, rest = spec.partition(":")
+    name = name.strip()
+    pairs: Dict[str, str] = {}
+    if rest.strip():
+        for item in rest.split(","):
+            key, sep, value = item.partition("=")
+            if not sep or not key.strip():
+                raise EmulationError(
+                    f"bad override {item!r} in variant spec {spec!r} "
+                    "(expected field=value)"
+                )
+            pairs[key.strip()] = value.strip()
+    return Variant(name, config_overrides=parse_config_overrides(pairs) or None)
+
+
+# ----------------------------------------------------------- worker plumbing
+
+#: Shared context inside pool workers (installed once per worker by the
+#: pool initializer; the serial path installs it in-process).
+_WORKER_CTX: Optional[ExperimentContext] = None
+
+
+def install_context(ctx: ExperimentContext) -> None:
+    """Pool initializer: make the heavyweight context a worker global."""
+    global _WORKER_CTX
+    _WORKER_CTX = ctx
+
+
+def _worker_context() -> ExperimentContext:
+    if _WORKER_CTX is None:
+        raise EmulationError(
+            "worker context not installed — sweep tasks must run through "
+            "parallel_map(initializer=install_context, ...)"
+        )
+    return _WORKER_CTX
+
+
+def _stream_sample(
+    ctx: ExperimentContext,
+    config: SystemConfig,
+    trace: Any,
+    frames: int,
+    seed: int,
+) -> Tuple[float, float]:
+    """One streaming session's (mean SSIM, mean PSNR)."""
+    with OBS.span("emulation.run", frames=frames, seed=seed) as span:
+        streamer = MulticastStreamer(
+            config, ctx.dnn, ctx.probes, ctx.scenario.channel_model, seed=seed
+        )
+        outcome = streamer.stream_trace(trace, num_frames=frames)
+        span.set(mean_ssim=outcome.mean_ssim)
+    return outcome.mean_ssim, outcome.mean_psnr_db
+
+
+def _placement_run(args: Tuple) -> Dict[str, Tuple[float, float]]:
+    """One random placement, every variant (worker task)."""
+    run, num_users, placement, variants, frames, seed_base, seed_stride, seed_offset = args
+    ctx = _worker_context()
+    run_seed = seed_base + seed_stride * run
+    trace = trace_for_placement(ctx, num_users, placement, run_seed)
+    out: Dict[str, Tuple[float, float]] = {}
+    for variant in variants:
+        config = ctx.config(**dict(variant.config_overrides or {}))
+        out[variant.name] = _stream_sample(
+            ctx, config, trace, frames, run_seed + seed_offset
+        )
+    return out
+
+
+def _session_run(args: Tuple) -> Tuple[str, List[float]]:
+    """One variant's mean-over-users SSIM series (worker task)."""
+    variant, trace, num_users, num_frames, seed = args
+    ctx = _worker_context()
+    session = variant.build_session(ctx, seed)
+    outcome = session.stream_trace(trace, num_frames=num_frames)
+    per_frame = np.zeros(num_frames)
+    for user in range(num_users):
+        user_series = outcome.ssim_series(user)
+        per_frame[: len(user_series)] += np.asarray(
+            user_series[:num_frames]
+        ) / num_users
+    return variant.name, per_frame.tolist()
+
+
+def merge_runs(
+    keys: Sequence[str], per_run: Sequence[Dict[str, Tuple[float, float]]]
+) -> Dict[str, Dict[str, List[float]]]:
+    """Stitch ordered per-run samples back into the per-key series shape.
+
+    Every run must report exactly ``keys``; a worker returning a partial or
+    unknown key set raises :class:`EmulationError` naming the offending run
+    instead of silently corrupting (or KeyError-ing mid-merge) the series.
+    """
+    expected = set(keys)
+    results: Dict[str, Dict[str, List[float]]] = {
+        key: {"ssim": [], "psnr": []} for key in keys
+    }
+    for run_index, run_result in enumerate(per_run):
+        got = set(run_result)
+        if got != expected:
+            missing = sorted(expected - got)
+            unexpected = sorted(got - expected)
+            raise EmulationError(
+                f"run {run_index} returned malformed keys: "
+                f"missing {missing}, unexpected {unexpected} "
+                f"(expected {sorted(expected)})"
+            )
+        for key, (ssim_value, psnr_value) in run_result.items():
+            results[key]["ssim"].append(ssim_value)
+            results[key]["psnr"].append(psnr_value)
+    return results
+
+
+# ------------------------------------------------------------------ engines
+
+
+def run_variant_sweep(
+    ctx: ExperimentContext,
+    variants: Sequence[Variant],
+    num_users: int,
+    placement: Tuple,
+    runs: int,
+    frames: int,
+    jobs: Optional[int] = None,
+    seed_base: int = 1000,
+    seed_stride: int = 17,
+    seed_offset: int = 7,
+) -> Dict[str, Dict[str, List[float]]]:
+    """Per-variant SSIM/PSNR samples over random placements.
+
+    Args:
+        ctx: Shared context.
+        variants: The comparison arms (config-override variants only —
+            placement sweeps rebuild a :class:`MulticastStreamer` per arm).
+        num_users: Receivers per placement.
+        placement: ``('arc', d, mas)`` or ``('range', d0, d1, mas)`` spec.
+        runs: Independent placements.
+        frames: Frames streamed per session.
+        jobs: Worker processes (``REPRO_JOBS`` default).
+        seed_base, seed_stride: Per-run seed schedule
+            (``seed_base + seed_stride * run``), kept distinct per
+            experiment family so figures stay reproducible.
+        seed_offset: Extra offset for the streaming seed within a run.
+    """
+    variants = tuple(variants)
+    for variant in variants:
+        if variant.session_factory is not None:
+            raise EmulationError(
+                f"variant {variant.name!r}: session_factory variants are "
+                "for run_session_sweep"
+            )
+    names = [variant.name for variant in variants]
+    if len(set(names)) != len(names):
+        raise EmulationError(f"duplicate variant names in sweep: {names}")
+    per_run = parallel_map(
+        _placement_run,
+        [
+            (run, num_users, placement, variants, frames,
+             seed_base, seed_stride, seed_offset)
+            for run in range(runs)
+        ],
+        jobs=jobs,
+        initializer=install_context,
+        initargs=(ctx,),
+    )
+    return merge_runs(names, per_run)
+
+
+def run_session_sweep(
+    ctx: ExperimentContext,
+    variants: Sequence[Variant],
+    trace: Any,
+    num_users: int,
+    num_frames: int,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+) -> Dict[str, List[float]]:
+    """Mean-over-users SSIM time series per variant on one shared trace.
+
+    All variants replay the identical trace — the point of trace-driven
+    evaluation; the fan-out axis is the variant, not the placement.
+    """
+    variants = tuple(variants)
+    names = [variant.name for variant in variants]
+    if len(set(names)) != len(names):
+        raise EmulationError(f"duplicate variant names in sweep: {names}")
+    per_variant = parallel_map(
+        _session_run,
+        [
+            (variant, trace, num_users, num_frames, seed)
+            for variant in variants
+        ],
+        jobs=jobs,
+        initializer=install_context,
+        initargs=(ctx,),
+    )
+    return {name: series for name, series in per_variant}

@@ -14,8 +14,16 @@ from typing import Any, Dict, Union
 from .registry import ObsRegistry
 
 #: The pipeline stages the hot path instruments (span histogram names).
+#: ``frame.stage.*`` are the session-pipeline stage boundaries emitted by
+#: :class:`repro.core.pipeline.StreamSession`.
 PIPELINE_STAGES = (
     "frame.stream",
+    "frame.stage.plan",
+    "frame.stage.encode",
+    "frame.stage.map",
+    "frame.stage.transmit",
+    "frame.stage.feedback",
+    "frame.stage.score",
     "encode.jigsaw",
     "encode.fountain",
     "decode.fountain",

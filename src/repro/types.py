@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -125,6 +125,63 @@ class FrameStats:
     )
     deadline_met: bool = True
     decode_failures: int = 0
+
+
+@dataclass
+class OutcomeStats:
+    """Per-(frame, user) stats accumulator shared by streaming outcomes.
+
+    Both the multicast system's ``StreamOutcome`` and the ABR baselines'
+    ``AbrOutcome`` collect one :class:`FrameStats` per (frame, user) and are
+    queried the same ways; this base class carries the aggregation methods
+    so the emulation harness can treat every session outcome uniformly.
+
+    Per-user series are indexed once per stats generation (the index is
+    rebuilt lazily whenever ``stats`` has grown) instead of re-sorting the
+    full stats list on every :meth:`ssim_series` call.
+    """
+
+    stats: List[FrameStats] = field(default_factory=list)
+    _series_index: Optional[Dict[int, List[FrameStats]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _series_len: int = field(default=-1, init=False, repr=False, compare=False)
+
+    @property
+    def mean_ssim(self) -> float:
+        if not self.stats:
+            return float("nan")
+        return float(np.mean([s.ssim for s in self.stats]))
+
+    @property
+    def mean_psnr_db(self) -> float:
+        if not self.stats:
+            return float("nan")
+        return float(np.mean([s.psnr_db for s in self.stats]))
+
+    def _per_user_index(self) -> Dict[int, List[FrameStats]]:
+        """Frame-ordered per-user stats, rebuilt only when stats changed."""
+        if self._series_index is None or self._series_len != len(self.stats):
+            index: Dict[int, List[FrameStats]] = {}
+            for stat in self.stats:
+                index.setdefault(stat.user_id, []).append(stat)
+            for series in index.values():
+                series.sort(key=lambda s: s.frame_index)
+            self._series_index = index
+            self._series_len = len(self.stats)
+        return self._series_index
+
+    def per_user_ssim(self) -> Dict[int, float]:
+        """Mean SSIM per user."""
+        index = self._per_user_index()
+        return {
+            u: float(np.mean([s.ssim for s in index[u]]))
+            for u in sorted(index)
+        }
+
+    def ssim_series(self, user_id: int) -> List[float]:
+        """Per-frame SSIM of one user, in frame order."""
+        return [s.ssim for s in self._per_user_index().get(user_id, [])]
 
 
 def validate_seed(seed: Optional[int]) -> np.random.Generator:

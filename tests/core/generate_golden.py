@@ -1,0 +1,44 @@
+"""Record the golden stream snapshots (see golden_cases.py for when).
+
+Run from the repo root::
+
+    PYTHONPATH=src:tests python -m core.generate_golden
+"""
+
+from __future__ import annotations
+
+import json
+
+from .golden_cases import (
+    CASES,
+    GOLDEN_PATH,
+    NUM_FRAMES,
+    STREAM_SEED,
+    build_environment,
+    case_key,
+    run_case,
+)
+
+
+def main() -> None:
+    dnn, probes, channel_model, trace = build_environment()
+    golden = {
+        "_meta": {
+            "num_frames": NUM_FRAMES,
+            "stream_seed": STREAM_SEED,
+            "cases": len(CASES),
+        }
+    }
+    for scheduler, policy, source_coding, rate_control in CASES:
+        key = case_key(scheduler, policy, source_coding, rate_control)
+        golden[key] = run_case(
+            dnn, probes, channel_model, trace,
+            scheduler, policy, source_coding, rate_control,
+        )
+        print(f"recorded {key}: {len(golden[key])} stats")
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=1, sort_keys=True))
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+"""Shared definitions for the golden stream-equivalence suite.
+
+The golden snapshots in ``golden_stream.json`` were recorded from the
+pre-refactor monolithic ``MulticastStreamer._stream_frame`` loop.  The
+staged session pipeline must reproduce them **bit-identically** for every
+scheduler x adaptation-policy x ablation combination: floats are stored as
+IEEE-754 hex strings so the comparison is exact, not approximate.
+
+Regenerate (only when an *intentional* behaviour change lands) with::
+
+    PYTHONPATH=src:tests python -m core.generate_golden
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.core import MulticastStreamer, SystemConfig
+from repro.emulation import EmulationScenario
+from repro.quality import DNNQualityModel
+from repro.types import AdaptationPolicy, Richness, SchedulerKind
+from repro.video import JigsawCodec, SyntheticVideo
+from repro.video.dataset import FrameQualityProbe, generate_dataset
+
+GOLDEN_PATH = Path(__file__).with_name("golden_stream.json")
+
+HEIGHT = 144
+WIDTH = 256
+NUM_FRAMES = 7  # crosses two beacon boundaries at 30 FPS / 100 ms beacons
+STREAM_SEED = 43
+
+#: (scheduler, policy-name, source_coding, rate_control) -> case key.
+POLICIES = {
+    "realtime_update": dict(adaptation=AdaptationPolicy.REALTIME_UPDATE),
+    "no_update": dict(adaptation=AdaptationPolicy.NO_UPDATE,
+                      no_update_beam_tracking=True),
+    "no_update_frozen": dict(adaptation=AdaptationPolicy.NO_UPDATE,
+                             no_update_beam_tracking=False),
+}
+
+CASES: List[Tuple[str, str, bool, bool]] = [
+    (scheduler.value, policy, source_coding, rate_control)
+    for scheduler in SchedulerKind
+    for policy in POLICIES
+    for source_coding in (True, False)
+    for rate_control in (True, False)
+]
+
+
+def case_key(scheduler: str, policy: str,
+             source_coding: bool, rate_control: bool) -> str:
+    return (
+        f"{scheduler}/{policy}"
+        f"/sc={'on' if source_coding else 'off'}"
+        f"/rc={'on' if rate_control else 'off'}"
+    )
+
+
+def build_environment():
+    """Deterministic (dnn, probes, channel_model, trace) shared by all cases.
+
+    Independent from the conftest fixtures so the recorded goldens cannot
+    drift when test fixtures are tuned.
+    """
+    hr_video = SyntheticVideo(
+        name="golden_hr", richness=Richness.HIGH,
+        height=HEIGHT, width=WIDTH, num_frames=10, seed=3,
+    )
+    lr_video = SyntheticVideo(
+        name="golden_lr", richness=Richness.LOW,
+        height=HEIGHT, width=WIDTH, num_frames=10, seed=4,
+    )
+    dataset = generate_dataset(
+        [hr_video, lr_video], frames_per_video=3, samples_per_frame=24, seed=0
+    )
+    dnn = DNNQualityModel(epochs=120, batch_size=32, seed=0)
+    dnn.fit(dataset.features, dataset.ssim)
+    codec = JigsawCodec(HEIGHT, WIDTH)
+    probes = [
+        FrameQualityProbe.from_frame(codec, hr_video.frame(0)),
+        FrameQualityProbe.from_frame(codec, lr_video.frame(0)),
+    ]
+    scenario = EmulationScenario(seed=0)
+    # A moving receiver exercises replanning and the firmware beam-tracking
+    # path; a static arc would make all three policies near-degenerate.
+    trace = scenario.mobile_receiver_trace(
+        2, moving_users=[0], duration_s=0.5, rss_regime="high", seed=41
+    )
+    return dnn, probes, scenario.channel_model, trace
+
+
+def run_case(dnn, probes, channel_model, trace,
+             scheduler: str, policy: str,
+             source_coding: bool, rate_control: bool) -> List[Dict]:
+    """Stream one configuration and serialise its per-(frame, user) stats."""
+    config = SystemConfig(
+        height=HEIGHT,
+        width=WIDTH,
+        scheduler=SchedulerKind(scheduler),
+        source_coding=source_coding,
+        rate_control=rate_control,
+        **POLICIES[policy],
+    )
+    streamer = MulticastStreamer(
+        config, dnn, probes, channel_model, seed=STREAM_SEED
+    )
+    outcome = streamer.stream_trace(trace, num_frames=NUM_FRAMES)
+    return [serialize_stat(stat) for stat in outcome.stats]
+
+
+def serialize_stat(stat) -> Dict:
+    """A FrameStats as a JSON-safe dict with bit-exact float encoding."""
+    return {
+        "frame_index": stat.frame_index,
+        "user_id": stat.user_id,
+        "ssim": float(stat.ssim).hex(),
+        "psnr_db": float(stat.psnr_db).hex(),
+        "bytes_received_per_layer": [
+            float(b).hex() for b in stat.bytes_received_per_layer
+        ],
+        "deadline_met": bool(stat.deadline_met),
+    }

@@ -1,0 +1,59 @@
+"""Golden equivalence: the staged pipeline vs the pre-refactor streamer.
+
+``golden_stream.json`` holds seed-fixed ``StreamOutcome`` snapshots (per
+frame and user: SSIM, PSNR, bytes per layer, deadline flag — floats as
+IEEE-754 hex) recorded from the monolithic ``_stream_frame`` loop before
+the session-pipeline refactor.  Every scheduler x policy x ablation
+combination must still be **bit-identical**.
+"""
+
+import json
+
+import pytest
+
+from .golden_cases import (
+    CASES,
+    GOLDEN_PATH,
+    NUM_FRAMES,
+    build_environment,
+    case_key,
+    run_case,
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def environment():
+    return build_environment()
+
+
+class TestGoldenEquivalence:
+    def test_snapshot_covers_all_cases(self, golden):
+        assert golden["_meta"]["cases"] == len(CASES)
+        for case in CASES:
+            assert case_key(*case) in golden
+
+    @pytest.mark.parametrize(
+        "scheduler,policy,source_coding,rate_control",
+        CASES,
+        ids=[case_key(*case) for case in CASES],
+    )
+    def test_stream_outcome_bit_identical(
+        self, golden, environment, scheduler, policy, source_coding, rate_control
+    ):
+        dnn, probes, channel_model, trace = environment
+        recorded = golden[case_key(scheduler, policy, source_coding, rate_control)]
+        current = run_case(
+            dnn, probes, channel_model, trace,
+            scheduler, policy, source_coding, rate_control,
+        )
+        assert len(current) == len(recorded) > 0
+        # Stats must exist for every (frame, user) pair of the session.
+        assert {(s["frame_index"], s["user_id"]) for s in current} == {
+            (f, u) for f in range(NUM_FRAMES) for u in (0, 1)
+        }
+        assert current == recorded

@@ -1,0 +1,145 @@
+"""Tests for the generic variant-sweep engine."""
+
+import pytest
+
+from repro.emulation.sweep import (
+    Variant,
+    merge_runs,
+    parse_config_overrides,
+    run_session_sweep,
+    run_variant_sweep,
+    variant_from_spec,
+)
+from repro.errors import EmulationError
+from repro.types import BeamformingScheme, SchedulerKind
+
+
+class TestVariant:
+    def test_requires_name(self):
+        with pytest.raises(EmulationError):
+            Variant("")
+
+    def test_overrides_and_factory_exclusive(self):
+        with pytest.raises(EmulationError):
+            Variant("x", config_overrides={"fps": 30},
+                    session_factory=lambda ctx, seed: None)
+
+
+class TestOverrideParsing:
+    def test_enum_bool_and_numeric_coercion(self):
+        overrides = parse_config_overrides({
+            "scheduler": "round_robin",
+            "scheme": "predefined_unicast",
+            "source_coding": "off",
+            "fps": "24",
+            "mcs_backoff_db": "1.5",
+        })
+        assert overrides["scheduler"] is SchedulerKind.ROUND_ROBIN
+        assert overrides["scheme"] is BeamformingScheme.PREDEFINED_UNICAST
+        assert overrides["source_coding"] is False
+        assert overrides["fps"] == 24
+        assert overrides["mcs_backoff_db"] == 1.5
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(EmulationError, match="unknown SystemConfig field"):
+            parse_config_overrides({"warp_drive": "on"})
+
+    def test_bad_bool_rejected(self):
+        with pytest.raises(EmulationError, match="expects a boolean"):
+            parse_config_overrides({"rate_control": "sideways"})
+
+    def test_variant_from_spec(self):
+        variant = variant_from_spec("rr:scheduler=round_robin,fps=24")
+        assert variant.name == "rr"
+        assert variant.config_overrides == {
+            "scheduler": SchedulerKind.ROUND_ROBIN, "fps": 24
+        }
+
+    def test_variant_from_bare_name(self):
+        variant = variant_from_spec("base")
+        assert variant.name == "base"
+        assert variant.config_overrides is None
+
+    def test_variant_from_bad_spec(self):
+        with pytest.raises(EmulationError, match="bad override"):
+            variant_from_spec("x:fps")
+
+
+class TestMergeRuns:
+    def test_merges_in_run_order(self):
+        merged = merge_runs(
+            ["a", "b"],
+            [{"a": (0.9, 30.0), "b": (0.8, 25.0)},
+             {"a": (0.7, 28.0), "b": (0.6, 22.0)}],
+        )
+        assert merged == {
+            "a": {"ssim": [0.9, 0.7], "psnr": [30.0, 28.0]},
+            "b": {"ssim": [0.8, 0.6], "psnr": [25.0, 22.0]},
+        }
+
+    def test_partial_run_rejected_naming_offender(self):
+        with pytest.raises(EmulationError, match=r"run 1.*missing \['b'\]"):
+            merge_runs(
+                ["a", "b"],
+                [{"a": (0.9, 30.0), "b": (0.8, 25.0)},
+                 {"a": (0.7, 28.0)}],
+            )
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(EmulationError, match=r"unexpected \['zz'\]"):
+            merge_runs(["a"], [{"a": (0.9, 30.0), "zz": (0.1, 1.0)}])
+
+
+class TestSweepValidation:
+    def test_duplicate_variant_names_rejected(self, sweep_ctx):
+        variants = [Variant("same"), Variant("same", {"fps": 24})]
+        with pytest.raises(EmulationError, match="duplicate"):
+            run_variant_sweep(
+                sweep_ctx, variants, 2, ("arc", 3, 60), runs=1, frames=1
+            )
+
+    def test_session_factory_variant_rejected_in_placement_sweep(self, sweep_ctx):
+        variants = [Variant("x", session_factory=lambda ctx, seed: None)]
+        with pytest.raises(EmulationError, match="run_session_sweep"):
+            run_variant_sweep(
+                sweep_ctx, variants, 2, ("arc", 3, 60), runs=1, frames=1
+            )
+
+
+class TestSweepEngine:
+    def test_matches_legacy_scheduler_runner(self, sweep_ctx):
+        """The generic engine with the scheduler seed schedule reproduces
+        run_scheduler_comparison exactly."""
+        from repro.emulation.runner import run_scheduler_comparison
+
+        legacy = run_scheduler_comparison(
+            sweep_ctx, 2, ("arc", 3, 60), runs=1, frames=2
+        )
+        generic = run_variant_sweep(
+            sweep_ctx,
+            [Variant(kind.value, {"scheduler": kind}) for kind in SchedulerKind],
+            2, ("arc", 3, 60), runs=1, frames=2,
+            seed_base=2000, seed_stride=13,
+        )
+        assert generic == legacy
+
+    def test_session_sweep_shapes(self, sweep_ctx):
+        """Mixed factory/override variants stream the same shared trace."""
+        from repro.emulation.runner import mobile_variant
+
+        trace = sweep_ctx.scenario.mobile_receiver_trace(
+            2, moving_users=[0], duration_s=0.3, rss_regime="high", seed=11
+        )
+        series = run_session_sweep(
+            sweep_ctx,
+            [mobile_variant("realtime_update"), mobile_variant("fast_mpc")],
+            trace, 2, num_frames=9, seed=11,
+        )
+        assert set(series) == {"realtime_update", "fast_mpc"}
+        assert all(len(v) == 9 for v in series.values())
+
+    def test_unknown_mobile_approach_rejected(self):
+        from repro.emulation.runner import mobile_variant
+
+        with pytest.raises(EmulationError, match="unknown mobile approach"):
+            mobile_variant("teleport")

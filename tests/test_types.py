@@ -78,3 +78,57 @@ class TestConstants:
 
     def test_four_layers(self):
         assert NUM_LAYERS == 4
+
+
+class TestOutcomeStats:
+    def _outcome(self):
+        from repro.types import FrameStats, OutcomeStats
+
+        outcome = OutcomeStats()
+        for frame in range(3):
+            for user in (0, 1):
+                outcome.stats.append(
+                    FrameStats(
+                        frame_index=frame,
+                        user_id=user,
+                        ssim=0.5 + 0.1 * frame + 0.01 * user,
+                        psnr_db=30.0 + frame,
+                    )
+                )
+        return outcome
+
+    def test_series_in_frame_order(self):
+        outcome = self._outcome()
+        assert outcome.ssim_series(1) == [0.51, 0.61, 0.71]
+        assert outcome.ssim_series(99) == []
+
+    def test_per_user_means(self):
+        outcome = self._outcome()
+        per_user = outcome.per_user_ssim()
+        assert set(per_user) == {0, 1}
+        assert per_user[0] == pytest.approx(0.6)
+
+    def test_index_rebuilds_after_append(self):
+        from repro.types import FrameStats
+
+        outcome = self._outcome()
+        assert len(outcome.ssim_series(0)) == 3
+        # The cached per-user index must notice new stats.
+        outcome.stats.append(
+            FrameStats(frame_index=3, user_id=0, ssim=0.9, psnr_db=35.0)
+        )
+        assert outcome.ssim_series(0) == [0.5, 0.6, 0.7, 0.9]
+
+    def test_index_reused_between_queries(self):
+        outcome = self._outcome()
+        outcome.ssim_series(0)
+        index = outcome._series_index
+        outcome.ssim_series(1)
+        assert outcome._series_index is index
+
+    def test_empty_outcome_nan_means(self):
+        from repro.types import OutcomeStats
+
+        outcome = OutcomeStats()
+        assert np.isnan(outcome.mean_ssim)
+        assert np.isnan(outcome.mean_psnr_db)
