@@ -9,6 +9,8 @@ Examples::
     repro-wigig sweep --variant base --variant rr:scheduler=round_robin
     repro-wigig quality-model --epochs 500
     repro-wigig observe --users 3 --frames 6 --trace obs_trace.jsonl
+    repro-wigig chaos --users 3 --frames 9 \\
+        --fault blockage_rate_hz=2 --fault feedback_loss_rate_hz=1
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from . import obs
 from .core import MulticastStreamer
 from .emulation import (
     build_context,
+    parse_config_overrides,
     run_ablation,
     run_beamforming_comparison,
     run_mobile_comparison,
@@ -169,6 +172,90 @@ def _cmd_observe(args) -> int:
     return 0
 
 
+def _outcome_fingerprint(outcome) -> tuple:
+    """A bit-exact, order-independent digest of a session's OutcomeStats."""
+    return tuple(
+        sorted(
+            (
+                s.frame_index,
+                s.user_id,
+                float(s.ssim).hex(),
+                float(s.psnr_db).hex(),
+                tuple(s.bytes_received_per_layer),
+                s.deadline_met,
+            )
+            for s in outcome.stats
+        )
+    )
+
+
+def _cmd_chaos(args) -> int:
+    """Stream one seeded fault schedule, twice, and check determinism.
+
+    Runs with counters-mode observability so the ``fault.*`` counters the
+    injectors emit are printed, and replays the identical (seed, schedule,
+    trace) ``--repeat`` times: any divergence in the per-frame/per-user
+    OutcomeStats across repeats is a reproducibility bug and exits nonzero.
+    """
+    from .faults import FaultController
+
+    pairs = {}
+    for item in args.fault:
+        key, sep, value = item.partition("=")
+        if not sep or not key.strip():
+            print(f"bad --fault {item!r} (expected field=value)")
+            return 2
+        pairs[f"faults.{key.strip()}"] = value.strip()
+    pairs.setdefault("faults.seed", str(args.seed))
+    overrides = parse_config_overrides(pairs)
+
+    ctx = build_context(seed=args.seed)
+    config = ctx.config(**overrides)
+    trace = trace_for_placement(ctx, args.users, _placement(args), args.seed + 11)
+    controller = FaultController.from_config(
+        config.faults, args.frames / config.fps, trace.user_ids()
+    )
+    print(f"\n=== Chaos run: {args.users} users, {args.frames} frames, "
+          f"seed={config.faults.seed} ===")
+    print("schedule:", controller.schedule.summary() or "(no events drawn)")
+
+    fingerprints = []
+    counters = {}
+    for repeat in range(args.repeat):
+        with obs.observed("counters"):
+            streamer = MulticastStreamer(
+                config,
+                ctx.dnn,
+                ctx.probes,
+                ctx.scenario.channel_model,
+                seed=args.seed + 7,
+            )
+            # The session draws a fresh controller from config.faults each
+            # repeat: same seed, same schedule.
+            outcome = streamer.stream_trace(trace, num_frames=args.frames)
+            counters = obs.OBS.counters()
+        fingerprints.append(_outcome_fingerprint(outcome))
+        print(f"run {repeat}: mean SSIM={outcome.mean_ssim:.4f} "
+              f"mean PSNR={outcome.mean_psnr_db:.2f} dB "
+              f"({len(outcome.stats)} frame/user stats)")
+
+    fault_counters = {
+        name: value for name, value in sorted(counters.items())
+        if name.startswith("fault.")
+    }
+    print("\nfault.* counters (last run):")
+    if fault_counters:
+        for name, value in fault_counters.items():
+            print(f"  {name:40} {value:.0f}")
+    else:
+        print("  (none fired)")
+
+    deterministic = all(fp == fingerprints[0] for fp in fingerprints[1:])
+    print(f"\ndeterministic across {args.repeat} same-seed runs: "
+          f"{'yes' if deterministic else 'NO — OutcomeStats diverged'}")
+    return 0 if deterministic else 1
+
+
 def _cmd_quality_model(args) -> int:
     from .quality import train_quality_models
 
@@ -257,6 +344,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="also save the aggregate report as JSON",
     )
     p.set_defaults(func=_cmd_observe, runs=1, frames=6)
+
+    p = sub.add_parser(
+        "chaos",
+        help="stream a seeded fault schedule and verify determinism",
+    )
+    common(p)
+    p.add_argument(
+        "--fault", action="append", default=[],
+        metavar="FIELD=VALUE",
+        help="one FaultConfig knob, e.g. blockage_rate_hz=2 "
+             "(repeat for more; seed defaults to --seed)",
+    )
+    p.add_argument(
+        "--repeat", type=int, default=2,
+        help="same-seed replays to compare (default: 2)",
+    )
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("quality-model", help="train and evaluate Table 1 models")
     p.add_argument("--epochs", type=int, default=300)

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Mapping
 
 from ..errors import ConfigurationError
+from ..faults.config import FaultConfig
 from ..types import AdaptationPolicy, BeamformingScheme, SchedulerKind
 
 #: True 4K pixel count; reduced-resolution emulation scales link rates by
@@ -45,6 +47,10 @@ class SystemConfig:
         mac_retries: MAC retransmissions for the associated STA.
         beacon_interval_s: ACO beacon (CSI + re-optimization) period.
         csi_error_std: Relative ACO CSI estimation error.
+        faults: Fault-injection block (:class:`repro.faults.FaultConfig`).
+            All rates default to zero, so the default config streams
+            fault-free and bit-identically to earlier versions; a mapping
+            is accepted and coerced (JSON/CLI-driven construction).
     """
 
     height: int = 288
@@ -72,8 +78,11 @@ class SystemConfig:
     mcs_backoff_db: float = 2.0
     retransmit_reserve: float = 0.15
     no_update_beam_tracking: bool = True
+    faults: FaultConfig = field(default_factory=FaultConfig)
 
     def __post_init__(self) -> None:
+        if isinstance(self.faults, Mapping):
+            self.faults = FaultConfig(**self.faults)
         if self.height % 16 or self.width % 16:
             raise ConfigurationError(
                 f"resolution must be multiples of 16, got {self.height}x{self.width}"

@@ -19,11 +19,12 @@ which is how ablations, new baselines and future transports get their seams.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..faults import FaultController
 from ..fountain.block import FrameBlockEncoder
 from ..obs import OBS
 from ..quality.curves import FrameFeatureContext
@@ -54,11 +55,29 @@ class StreamOutcome(OutcomeStats):
 
 @dataclass
 class SessionState:
-    """Loop-carried planning state of one streaming session."""
+    """Loop-carried planning state of one streaming session.
+
+    Attributes:
+        bw_estimators: Per-user bandwidth feedback state.
+        allocation: The allocation currently being streamed.
+        last_plan_time: When the allocation was last (re)planned.
+        planned_users: Membership the current allocation was planned for;
+            a churn-induced mismatch forces a replan.
+        beacon_retries: Consecutive frames the planner has retried a lost
+            beacon update (bounded by ``faults.max_beacon_retries``).
+        last_estimated_state: Freshest successfully received CSI estimate,
+            for strategies degrading gracefully under beacon loss.
+        feedback_staleness: Frames since the last feedback report arrived,
+            per user currently inside a feedback outage.
+    """
 
     bw_estimators: Dict[int, BandwidthEstimator]
     allocation: Optional[AllocationResult] = None
     last_plan_time: float = -np.inf
+    planned_users: Optional[Tuple[int, ...]] = None
+    beacon_retries: int = 0
+    last_estimated_state: Optional[object] = None
+    feedback_staleness: Dict[int, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -96,7 +115,14 @@ class PipelineStage(Protocol):
 
 
 class Planner:
-    """Plan at t=0, then defer beacon-boundary decisions to the strategy."""
+    """Plan at t=0, then defer beacon-boundary decisions to the strategy.
+
+    Under fault injection two extra paths open up: receiver churn forces an
+    immediate replan for the new membership, and lost beacons are retried
+    frame by frame (the allocation carries over) until either a beacon gets
+    through or the bounded retry budget is exhausted — at which point the
+    strategy's ``on_beacon_lost`` fallback runs on the stale estimate.
+    """
 
     name = "plan"
 
@@ -106,19 +132,53 @@ class Planner:
         beacon_due = (
             ctx.now - state.last_plan_time >= config.beacon_interval_s - 1e-9
         )
-        if state.allocation is None:
+        membership_changed = (
+            state.allocation is not None
+            and state.planned_users is not None
+            and tuple(ctx.users) != state.planned_users
+        )
+        if state.allocation is None or membership_changed:
             snapshot = session.trace.at_time(ctx.now)
+            state.last_estimated_state = snapshot.estimated_state
             state.allocation = session.streamer._plan(
                 snapshot.estimated_state, ctx.users, ctx.feature_contexts
             )
             state.last_plan_time = ctx.now
+            state.planned_users = tuple(ctx.users)
+            state.beacon_retries = 0
+            if membership_changed:
+                OBS.count("fault.churn.replans")
         elif beacon_due:
-            snapshot = session.trace.at_time(ctx.now)
-            state.allocation = session.strategy.on_beacon(
-                session, ctx, snapshot.estimated_state
+            if session.faults is not None and session.faults.beacon_lost():
+                self._beacon_lost(ctx, session)
+            else:
+                snapshot = session.trace.at_time(ctx.now)
+                state.last_estimated_state = snapshot.estimated_state
+                state.allocation = session.strategy.on_beacon(
+                    session, ctx, snapshot.estimated_state
+                )
+                state.last_plan_time = ctx.now
+                state.beacon_retries = 0
+        ctx.allocation = state.allocation
+
+    @staticmethod
+    def _beacon_lost(ctx: FrameContext, session: "StreamSession") -> None:
+        """Bounded retry, then the strategy's graceful-degradation path.
+
+        While retrying, ``last_plan_time`` is left alone so the update
+        stays due and is re-attempted next frame; on timeout the session
+        gives up until the next beacon boundary.
+        """
+        state = session.state
+        state.beacon_retries += 1
+        OBS.count("fault.beacon.lost")
+        if state.beacon_retries > session.config.faults.max_beacon_retries:
+            OBS.count("fault.beacon.timeouts")
+            state.allocation = session.strategy.on_beacon_lost(
+                session, ctx, state.last_estimated_state
             )
             state.last_plan_time = ctx.now
-        ctx.allocation = state.allocation
+            state.beacon_retries = 0
 
 
 class FrameEncoder:
@@ -162,6 +222,11 @@ class Transmitter:
         ctx.rate_limits = streamer._rate_limits(
             allocation, session.state.bw_estimators
         )
+        fault_kwargs = (
+            {"active_users": ctx.users, "faults": session.faults}
+            if session.faults is not None
+            else {}
+        )
         ctx.result = streamer.transmitter.transmit(
             ctx.encoder,
             ctx.assignments,
@@ -170,6 +235,7 @@ class Transmitter:
             config.frame_budget_s,
             streamer.rng,
             rate_limits_bytes_per_s=ctx.rate_limits,
+            **fault_kwargs,
         )
         ctx.deadline_met = (
             ctx.result.airtime_s <= config.frame_budget_s + 1e-9
@@ -177,13 +243,36 @@ class Transmitter:
 
 
 class FeedbackUpdater:
-    """Fold each receiver's delivery fraction into its bandwidth estimate."""
+    """Fold each receiver's delivery fraction into its bandwidth estimate.
+
+    Graceful degradation under injected feedback loss: a user whose report
+    never arrives keeps its last-known-good estimate, exponentially decayed
+    (``faults.stale_decay`` per silent frame), so a long outage steers the
+    pacing rate conservatively instead of pinning it at the last healthy
+    measurement.
+    """
 
     name = "feedback"
 
     def run(self, ctx: FrameContext, session: "StreamSession") -> None:
         assert ctx.result is not None
+        faults = session.faults
         for user in ctx.users:
+            if faults is not None:
+                if faults.feedback_lost(user):
+                    staleness = session.state.feedback_staleness
+                    staleness[user] = staleness.get(user, 0) + 1
+                    session.state.bw_estimators[user].decay(
+                        session.config.faults.stale_decay
+                    )
+                    OBS.count("fault.feedback_loss.reports_lost")
+                    OBS.set_gauge(
+                        f"fault.feedback_loss.user.{user}.staleness",
+                        staleness[user],
+                    )
+                    continue
+                if session.state.feedback_staleness.pop(user, None):
+                    OBS.count("fault.feedback_loss.recoveries")
             reception = ctx.result.receptions[user]
             total = reception.packets_received + reception.packets_lost
             fraction = (
@@ -241,6 +330,12 @@ class StreamSession:
         stages: Stage list override (default: :func:`default_stages`).
         strategy: Adaptation strategy override (default: derived from the
             streamer's config via :func:`repro.core.policy.strategy_for`).
+        faults: Fault controller override.  When ``None`` and the config's
+            ``faults`` block has any nonzero rate, a controller is generated
+            from that block at :meth:`run` time (session duration is only
+            known then); when ``None`` with faults disabled, every fault
+            hook stays dormant and the session is bit-identical to the
+            pre-fault pipeline.
     """
 
     def __init__(
@@ -249,6 +344,7 @@ class StreamSession:
         trace: "CsiTrace",
         stages: Optional[Sequence[PipelineStage]] = None,
         strategy: Optional["AdaptationStrategy"] = None,
+        faults: Optional[FaultController] = None,
     ) -> None:
         from .policy import strategy_for
 
@@ -265,6 +361,8 @@ class StreamSession:
         self.stages: List[PipelineStage] = (
             list(stages) if stages is not None else default_stages()
         )
+        self.faults = faults
+        self._previous_active: Optional[Tuple[int, ...]] = None
         self.outcome = StreamOutcome()
 
     def run(self, num_frames: int) -> StreamOutcome:
@@ -274,13 +372,60 @@ class StreamSession:
             raise ConfigurationError(
                 f"need at least one frame, got {total_frames}"
             )
+        self._ensure_faults(total_frames)
         for frame_index in range(total_frames):
             with OBS.span("frame.stream", frame=frame_index) as frame_span:
                 ctx = self.frame_context(frame_index)
                 ctx.span = frame_span
+                if self.faults is not None and not self._begin_frame_faults(
+                    ctx
+                ):
+                    continue
                 self._run_stages(ctx)
                 self._finalize_frame(ctx, frame_span)
         return self.outcome
+
+    def _ensure_faults(self, total_frames: int) -> None:
+        """Instantiate the controller from the config's ``faults`` block."""
+        if self.faults is None and self.config.faults.enabled:
+            self.faults = FaultController.from_config(
+                self.config.faults,
+                total_frames / self.config.fps,
+                self.users,
+            )
+
+    def _begin_frame_faults(self, ctx: FrameContext) -> bool:
+        """Advance the fault clock and apply churn; False skips the frame.
+
+        Membership edges (joins/leaves) are diffed against the previous
+        frame: a leaving receiver's transmitter tallies are evicted (the
+        churn-leak fix) and a rejoining receiver re-associates with a
+        reset bandwidth estimator, exactly as a real re-association drops
+        its measurement history.
+        """
+        assert self.faults is not None
+        active = self.faults.begin_frame(ctx.frame_index, ctx.now, self.users)
+        previous = (
+            self._previous_active
+            if self._previous_active is not None
+            else tuple(self.users)
+        )
+        for user in sorted(set(previous) - set(active)):
+            self.streamer.transmitter.evict_user(user)
+            OBS.count("fault.churn.leaves")
+        for user in sorted(set(active) - set(previous)):
+            self.state.bw_estimators[user].reset()
+            self.state.feedback_staleness.pop(user, None)
+            OBS.count("fault.churn.joins")
+        self._previous_active = tuple(active)
+        if not active:
+            OBS.count("fault.churn.idle_frames")
+            return False
+        ctx.users = list(active)
+        ctx.feature_contexts = {
+            u: c for u, c in ctx.feature_contexts.items() if u in active
+        }
+        return True
 
     def frame_context(self, frame_index: int) -> FrameContext:
         """The fresh per-frame context the stages will fill in.

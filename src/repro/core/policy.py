@@ -41,6 +41,20 @@ class AdaptationStrategy(Protocol):
         """Return the allocation to carry forward from this beacon on."""
         ...
 
+    def on_beacon_lost(
+        self,
+        session: "StreamSession",
+        ctx: "FrameContext",
+        stale_estimated_state,
+    ) -> AllocationResult:
+        """Graceful degradation once the beacon-retry budget is exhausted.
+
+        Called with the *last successfully received* estimated state (or
+        ``None`` when even the initial one is gone); must return the
+        allocation to limp along with until the next beacon boundary.
+        """
+        ...
+
 
 class RealtimeUpdateStrategy:
     """Re-solve beams, rates and the time allocation every beacon."""
@@ -53,6 +67,16 @@ class RealtimeUpdateStrategy:
         return session.streamer._plan(
             estimated_state, ctx.users, ctx.feature_contexts
         )
+
+    def on_beacon_lost(
+        self, session: "StreamSession", ctx: "FrameContext", stale_estimated_state
+    ) -> AllocationResult:
+        """Without fresh CSI there is nothing to re-solve against: keep the
+        last-known-good allocation (rate-limit decay and feedback rounds
+        still adapt the send rate underneath it)."""
+        allocation = session.state.allocation
+        assert allocation is not None
+        return allocation
 
 
 class BeamTrackingStrategy:
@@ -76,6 +100,23 @@ class BeamTrackingStrategy:
             session.streamer.channel_model,
             allocation,
             estimated_state,
+        )
+
+    def on_beacon_lost(
+        self, session: "StreamSession", ctx: "FrameContext", stale_estimated_state
+    ) -> AllocationResult:
+        """The NIC's sector tracking is local to the radios — it keeps
+        running without AP-side beacons, so re-track against the freshest
+        estimate we ever had (or keep everything if there is none)."""
+        allocation = session.state.allocation
+        assert allocation is not None
+        if stale_estimated_state is None:
+            return allocation
+        return self.retrack_beams(
+            session.streamer.codebook,
+            session.streamer.channel_model,
+            allocation,
+            stale_estimated_state,
         )
 
     @staticmethod
@@ -133,6 +174,14 @@ class FrozenStrategy:
     def on_beacon(
         self, session: "StreamSession", ctx: "FrameContext", estimated_state
     ) -> AllocationResult:
+        allocation = session.state.allocation
+        assert allocation is not None
+        return allocation
+
+    def on_beacon_lost(
+        self, session: "StreamSession", ctx: "FrameContext", stale_estimated_state
+    ) -> AllocationResult:
+        """Frozen is frozen: a lost beacon changes nothing."""
         allocation = session.state.allocation
         assert allocation is not None
         return allocation

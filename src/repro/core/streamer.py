@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..beamforming import GroupBeamPlanner, SectorCodebook
 from ..errors import ConfigurationError
+from ..faults import FaultController
 from ..fountain.block import symbol_size_for
 from ..phy.channel import ChannelModel
 from ..phy.csi import CsiTrace
@@ -120,9 +121,12 @@ class MulticastStreamer:
         trace: CsiTrace,
         stages: Optional[Sequence[PipelineStage]] = None,
         strategy: Optional[AdaptationStrategy] = None,
+        faults: Optional["FaultController"] = None,
     ) -> StreamSession:
         """A new staged session over ``trace`` (stage/strategy injectable)."""
-        return StreamSession(self, trace, stages=stages, strategy=strategy)
+        return StreamSession(
+            self, trace, stages=stages, strategy=strategy, faults=faults
+        )
 
     def stream_trace(
         self, trace: CsiTrace, num_frames: Optional[int] = None

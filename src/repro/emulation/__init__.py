@@ -13,7 +13,9 @@ from .scenario import EmulationScenario
 from .stats import BoxStats, summarize
 from .sweep import (
     Variant,
+    fault_grid,
     merge_runs,
+    parse_config_overrides,
     run_session_sweep,
     run_variant_sweep,
     variant_from_spec,
@@ -39,6 +41,8 @@ __all__ = [
     "trace_for_placement",
     "Variant",
     "variant_from_spec",
+    "parse_config_overrides",
+    "fault_grid",
     "merge_runs",
     "run_variant_sweep",
     "run_session_sweep",

@@ -52,6 +52,7 @@ __all__ = [
     "Variant",
     "variant_from_spec",
     "parse_config_overrides",
+    "fault_grid",
     "install_context",
     "merge_runs",
     "run_variant_sweep",
@@ -99,43 +100,103 @@ class Variant:
         )
 
 
+def _coerce_field(current: Any, name: str, raw: str) -> Any:
+    """One ``field=value`` string coerced to the type of its default."""
+    if isinstance(current, enum.Enum):
+        return type(current)(raw)
+    if isinstance(current, bool):
+        lowered = str(raw).strip().lower()
+        if lowered in ("1", "true", "on", "yes"):
+            return True
+        if lowered in ("0", "false", "off", "no"):
+            return False
+        raise EmulationError(f"field {name!r} expects a boolean, got {raw!r}")
+    if isinstance(current, int):
+        return int(raw)
+    if isinstance(current, float):
+        return float(raw)
+    return raw
+
+
 def parse_config_overrides(pairs: Mapping[str, str]) -> Dict[str, Any]:
     """Coerce ``field=value`` strings to typed :class:`SystemConfig` values.
 
     Enum fields accept the enum's value (e.g. ``scheduler=round_robin``),
     booleans accept on/off/true/false/1/0; numbers are cast to the field
-    type.  Unknown fields raise :class:`EmulationError` so CLI typos fail
-    loudly instead of silently streaming the base config.
+    type.  Fault-injection knobs nest under a dotted prefix
+    (``faults.blockage_rate_hz=2``) and come back as one merged
+    :class:`repro.faults.FaultConfig` under the ``faults`` key.  Unknown
+    fields raise :class:`EmulationError` so CLI typos fail loudly instead
+    of silently streaming the base config.
     """
     fields = {f.name: f for f in dataclasses.fields(SystemConfig)}
     config_defaults = SystemConfig()
+    fault_defaults = config_defaults.faults
+    fault_fields = {f.name for f in dataclasses.fields(type(fault_defaults))}
     overrides: Dict[str, Any] = {}
+    fault_overrides: Dict[str, Any] = {}
     for name, raw in pairs.items():
+        if name.startswith("faults."):
+            sub = name[len("faults."):]
+            if sub not in fault_fields:
+                raise EmulationError(
+                    f"unknown FaultConfig field {name!r} "
+                    f"(known: {', '.join('faults.' + f for f in sorted(fault_fields))})"
+                )
+            fault_overrides[sub] = _coerce_field(
+                getattr(fault_defaults, sub), name, raw
+            )
+            continue
+        if name == "faults":
+            raise EmulationError(
+                "set fault knobs individually as faults.<field>=<value>"
+            )
         if name not in fields:
             raise EmulationError(
                 f"unknown SystemConfig field {name!r} "
                 f"(known: {', '.join(sorted(fields))})"
             )
-        current = getattr(config_defaults, name)
-        if isinstance(current, enum.Enum):
-            overrides[name] = type(current)(raw)
-        elif isinstance(current, bool):
-            lowered = str(raw).strip().lower()
-            if lowered in ("1", "true", "on", "yes"):
-                overrides[name] = True
-            elif lowered in ("0", "false", "off", "no"):
-                overrides[name] = False
-            else:
-                raise EmulationError(
-                    f"field {name!r} expects a boolean, got {raw!r}"
-                )
-        elif isinstance(current, int):
-            overrides[name] = int(raw)
-        elif isinstance(current, float):
-            overrides[name] = float(raw)
-        else:
-            overrides[name] = raw
+        overrides[name] = _coerce_field(
+            getattr(config_defaults, name), name, raw
+        )
+    if fault_overrides:
+        overrides["faults"] = dataclasses.replace(
+            fault_defaults, **fault_overrides
+        )
     return overrides
+
+
+def fault_grid(
+    axis: str,
+    values: Sequence[Any],
+    base: Optional[Mapping[str, str]] = None,
+) -> List[Variant]:
+    """Variants sweeping one ``faults.*`` knob — the chaos sweep axis.
+
+    Args:
+        axis: A :class:`repro.faults.FaultConfig` field name
+            (e.g. ``blockage_rate_hz``).
+        values: The grid points; one variant per value.
+        base: Extra ``field=value`` string overrides shared by every arm
+            (dotted ``faults.`` keys welcome).
+
+    Returns:
+        One :class:`Variant` per value, named ``"<axis>=<value>"``, ready
+        for :func:`run_variant_sweep`.
+    """
+    if not values:
+        raise EmulationError(f"fault_grid({axis!r}) needs at least one value")
+    variants = []
+    for value in values:
+        pairs = dict(base or {})
+        pairs[f"faults.{axis}"] = str(value)
+        variants.append(
+            Variant(
+                f"{axis}={value}",
+                config_overrides=parse_config_overrides(pairs),
+            )
+        )
+    return variants
 
 
 def variant_from_spec(spec: str) -> Variant:

@@ -1,0 +1,129 @@
+"""The ``faults`` configuration block: declarative fault-injection knobs.
+
+:class:`FaultConfig` is embedded in :class:`repro.core.SystemConfig` and
+describes *rates and shapes* of impairments, not concrete occurrences —
+the concrete, seeded event timeline is drawn from it by
+:meth:`repro.faults.schedule.FaultSchedule.generate`.  All rates default to
+zero, so the default config injects nothing and the streaming pipeline is
+bit-identical to a fault-free run.
+
+The axes mirror the paper's hostile-60 GHz impairments:
+
+* **blockage bursts** — deep per-user attenuation (walking blockers
+  crossing the LoS, Sec 2.5),
+* **SNR dips** — shallower, longer, all-user degradation (beam
+  misalignment under mobility),
+* **erasure bursts** — correlated packet loss independent of the channel
+  (interference, firmware hiccups),
+* **feedback loss** — per-user bandwidth reports that never arrive
+  (Sec 4: lossy feedback on commodity QCA6320 radios),
+* **beacon loss** — CSI/re-optimization beacons dropped at the AP, and
+* **churn** — receivers leaving and rejoining mid-session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Rates, durations and magnitudes of schedulable faults.
+
+    Attributes:
+        seed: Seed for drawing the concrete event timeline; the same seed
+            (with the same duration and user set) always yields the same
+            :class:`~repro.faults.schedule.FaultSchedule`.
+        blockage_rate_hz: Per-user blockage-burst arrivals per second.
+        blockage_duration_s: Length of one blockage burst.
+        blockage_depth_db: Attenuation applied to the blocked user's RSS.
+        snr_dip_rate_hz: All-user SNR-dip arrivals per second.
+        snr_dip_duration_s: Length of one dip.
+        snr_dip_depth_db: Attenuation applied to every user during a dip.
+        erasure_rate_hz: Erasure-burst arrivals per second.
+        erasure_duration_s: Length of one erasure burst.
+        erasure_prob: Probability a packet inside a burst is erased.
+        feedback_loss_rate_hz: Per-user feedback-outage arrivals per second.
+        feedback_loss_duration_s: Length of one feedback outage.
+        beacon_loss_rate_hz: Beacon-outage arrivals per second.
+        beacon_loss_duration_s: Length of one beacon outage.
+        churn_rate_hz: Per-user leave arrivals per second.
+        churn_downtime_s: How long a departed receiver stays away before
+            rejoining.
+        max_beacon_retries: Graceful-degradation bound — consecutive frames
+            the planner retries a lost beacon update before giving up until
+            the next beacon boundary.
+        stale_decay: Graceful-degradation knob — multiplicative decay
+            applied to a receiver's last-known-good bandwidth estimate for
+            every frame its feedback report is lost.
+    """
+
+    seed: int = 0
+    blockage_rate_hz: float = 0.0
+    blockage_duration_s: float = 0.12
+    blockage_depth_db: float = 18.0
+    snr_dip_rate_hz: float = 0.0
+    snr_dip_duration_s: float = 0.4
+    snr_dip_depth_db: float = 6.0
+    erasure_rate_hz: float = 0.0
+    erasure_duration_s: float = 0.05
+    erasure_prob: float = 0.5
+    feedback_loss_rate_hz: float = 0.0
+    feedback_loss_duration_s: float = 0.2
+    beacon_loss_rate_hz: float = 0.0
+    beacon_loss_duration_s: float = 0.15
+    churn_rate_hz: float = 0.0
+    churn_downtime_s: float = 0.3
+    max_beacon_retries: int = 3
+    stale_decay: float = 0.9
+
+    def __post_init__(self) -> None:
+        for name in (
+            "blockage_rate_hz", "snr_dip_rate_hz", "erasure_rate_hz",
+            "feedback_loss_rate_hz", "beacon_loss_rate_hz", "churn_rate_hz",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(
+                    f"{name} must be non-negative, got {getattr(self, name)}"
+                )
+        for name in (
+            "blockage_duration_s", "snr_dip_duration_s", "erasure_duration_s",
+            "feedback_loss_duration_s", "beacon_loss_duration_s",
+            "churn_downtime_s",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(
+                    f"{name} must be positive, got {getattr(self, name)}"
+                )
+        for name in ("blockage_depth_db", "snr_dip_depth_db"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(
+                    f"{name} must be non-negative, got {getattr(self, name)}"
+                )
+        if not 0.0 <= self.erasure_prob <= 1.0:
+            raise ConfigurationError(
+                f"erasure_prob must be in [0, 1], got {self.erasure_prob}"
+            )
+        if self.max_beacon_retries < 0:
+            raise ConfigurationError(
+                f"max_beacon_retries must be non-negative, "
+                f"got {self.max_beacon_retries}"
+            )
+        if not 0.0 < self.stale_decay <= 1.0:
+            raise ConfigurationError(
+                f"stale_decay must be in (0, 1], got {self.stale_decay}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault axis has a non-zero arrival rate."""
+        return any(
+            getattr(self, name) > 0
+            for name in (
+                "blockage_rate_hz", "snr_dip_rate_hz", "erasure_rate_hz",
+                "feedback_loss_rate_hz", "beacon_loss_rate_hz",
+                "churn_rate_hz",
+            )
+        )

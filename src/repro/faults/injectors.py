@@ -1,0 +1,73 @@
+"""Injectors: apply scheduled faults to the pipeline's component seams.
+
+Each injector wraps (or is consulted by) exactly one subsystem:
+
+* :class:`FaultedLinkModel` wraps :class:`repro.transport.link.LinkModel`,
+  attenuating per-user RSS during blockage bursts and SNR dips.
+* The packet-erasure burst is applied by
+  :class:`repro.transport.transmitter.FrameTransmitter` itself, scaling
+  per-member delivery probabilities by
+  :meth:`~repro.faults.controller.FaultController.erasure_scale`.
+* Feedback loss, beacon loss and churn are consumed directly by the
+  pipeline stages / strategies via the controller's boolean queries.
+
+Injectors never draw randomness of their own: all stochasticity lives in
+the seeded schedule (when it was *generated*) and in the streamer's own
+packet-loss RNG, so fault runs stay exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict
+
+import numpy as np
+
+from ..phy.mcs import McsEntry
+from ..transport.link import LinkModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..phy.channel import ChannelState
+    from .controller import FaultController
+
+__all__ = ["FaultedLinkModel"]
+
+
+@dataclass
+class FaultedLinkModel:
+    """A :class:`LinkModel` seen through the active blockage/SNR-dip faults.
+
+    Delegates every delivery decision to the wrapped model with the
+    controller's current per-user RSS offset applied; with no active
+    attenuation events the offset is ``0.0`` and the wrapped model's
+    answers are bit-identical.
+    """
+
+    inner: LinkModel
+    controller: "FaultController"
+
+    def delivery_probability(
+        self,
+        user: int,
+        beam: np.ndarray,
+        true_state: "ChannelState",
+        mcs: McsEntry,
+    ) -> float:
+        """Delivery probability for one packet under the faulted channel."""
+        return self.inner.delivery_probability(
+            user, beam, true_state, mcs,
+            rss_offset_db=self.controller.rss_offset_db(user),
+        )
+
+    def delivery_probabilities(
+        self,
+        users,
+        beam: np.ndarray,
+        true_state: "ChannelState",
+        mcs: McsEntry,
+    ) -> Dict[int, float]:
+        """Delivery probability for several users under one beam/MCS."""
+        return {
+            u: self.delivery_probability(u, beam, true_state, mcs)
+            for u in users
+        }

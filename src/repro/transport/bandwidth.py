@@ -93,6 +93,27 @@ class BandwidthEstimator:
             )
         return self.observe_window(delivered_fraction, 1.0, rng)
 
+    def decay(self, factor: float) -> Optional[float]:
+        """Exponentially shrink a stale estimate (graceful degradation).
+
+        When a receiver's feedback report is lost, the sender keeps pacing
+        at the last-known-good rate but trusts it a little less every
+        frame: each call multiplies the estimate by ``factor``, so a long
+        feedback outage converges toward a conservative floor instead of
+        pinning a possibly-dead link at its last healthy rate.
+
+        Returns:
+            The decayed estimate, or ``None`` if no measurement exists yet
+            (nothing to decay).
+        """
+        if not 0.0 < factor <= 1.0:
+            raise TransportError(f"decay factor must be in (0, 1], got {factor}")
+        if self._estimate_bytes_per_s is not None:
+            self._estimate_bytes_per_s = max(
+                self._estimate_bytes_per_s * factor, 1e-9
+            )
+        return self._estimate_bytes_per_s
+
     def reset(self) -> None:
         """Forget all measurements (e.g. after re-association)."""
         self._estimate_bytes_per_s = None

@@ -68,11 +68,19 @@ class LinkModel:
         beam: np.ndarray,
         true_state: ChannelState,
         mcs: McsEntry,
+        rss_offset_db: float = 0.0,
     ) -> float:
-        """Probability one packet reaches ``user`` under ``beam`` at ``mcs``."""
+        """Probability one packet reaches ``user`` under ``beam`` at ``mcs``.
+
+        ``rss_offset_db`` shifts the received strength before the PER
+        mapping — the seam fault injection uses for blockage bursts and
+        SNR dips (:class:`repro.faults.FaultedLinkModel`).
+        """
         if user not in true_state.channels:
             raise TransportError(f"no channel for user {user}")
         rss = self.channel_model.rss_dbm(beam, true_state.channels[user])
+        if rss_offset_db:
+            rss += rss_offset_db
         per = packet_error_rate(rss - mcs.sensitivity_dbm)
         if user == self.associated_user:
             per = per ** (1 + max(0, self.mac_retries))

@@ -20,8 +20,8 @@ the burst, so losses hit base layers too.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,6 +34,9 @@ from ..scheduling.coding_groups import UnitAssignment
 from ..scheduling.groups import CandidateGroup
 from .kernel_queue import KernelQueue
 from .link import LinkModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.controller import FaultController
 
 #: Firmware beam + MCS switch overhead (Sec 3.1: ~25 us).
 GROUP_SWITCH_OVERHEAD_S = 25e-6
@@ -52,6 +55,21 @@ class _TxState:
     clock_s: float
     packets_sent: int
     dropped_at_queue: int
+
+
+@dataclass
+class _UserTxState:
+    """Cross-frame per-receiver delivery tallies kept by the transmitter.
+
+    Accumulated for every receiver the transmitter has served; when a
+    receiver leaves the session (churn), :meth:`FrameTransmitter.evict_user`
+    must drop its entry — otherwise departed receivers pin their state for
+    the lifetime of the transmitter.
+    """
+
+    frames: int = 0
+    packets_received: int = 0
+    packets_lost: int = 0
 
 
 @dataclass
@@ -105,6 +123,9 @@ class FrameTransmitter:
     max_feedback_rounds: int = 2
     kernel_queue: Optional[KernelQueue] = None
     bucket_capacity_packets: int = 10
+    _user_states: Dict[int, _UserTxState] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def transmit(
         self,
@@ -115,6 +136,8 @@ class FrameTransmitter:
         budget_s: float,
         rng: np.random.Generator,
         rate_limits_bytes_per_s: Optional[Dict[int, float]] = None,
+        active_users: Optional[Sequence[int]] = None,
+        faults: Optional["FaultController"] = None,
     ) -> TransmissionResult:
         """Run one frame's transmission and return per-user receptions.
 
@@ -127,20 +150,25 @@ class FrameTransmitter:
             rng: Loss and queue randomness.
             rate_limits_bytes_per_s: Per-group bandwidth-feedback caps
                 (from the previous frame's receiver estimates).
+            active_users: Receivers currently in the session; ``None``
+                means every user in ``true_state`` (no churn).
+            faults: Active fault controller; applies blockage/SNR-dip
+                attenuation through the link wrapper and packet-erasure
+                bursts on the delivery probabilities.
         """
         if budget_s <= 0:
             raise TransportError(f"budget must be positive, got {budget_s}")
         if not OBS.mode:
             return self._transmit(
                 encoder, assignments, groups, true_state, budget_s, rng,
-                rate_limits_bytes_per_s,
+                rate_limits_bytes_per_s, active_users, faults,
             )
         with OBS.span(
             "transport.transmit", frame=encoder.frame_index
         ) as span:
             result = self._transmit(
                 encoder, assignments, groups, true_state, budget_s, rng,
-                rate_limits_bytes_per_s,
+                rate_limits_bytes_per_s, active_users, faults,
             )
             span.set(
                 packets_sent=result.packets_sent,
@@ -169,14 +197,20 @@ class FrameTransmitter:
         budget_s: float,
         rng: np.random.Generator,
         rate_limits_bytes_per_s: Optional[Dict[int, float]] = None,
+        active_users: Optional[Sequence[int]] = None,
+        faults: Optional["FaultController"] = None,
     ) -> TransmissionResult:
+        users = true_state.user_ids
+        if active_users is not None:
+            present = set(active_users)
+            users = [u for u in users if u in present]
         receptions = {
             u: UserReception(
                 decoder=FrameBlockDecoder(
                     encoder.frame_index, encoder.structure, encoder.symbol_size
                 )
             )
-            for u in true_state.user_ids
+            for u in users
         }
         limits = rate_limits_bytes_per_s or {}
         packet_bytes = encoder.symbol_size + HEADER_BYTES
@@ -201,10 +235,11 @@ class FrameTransmitter:
 
         if self.rate_control:
             self._paced_pass(plan, groups, rates, true_state, receptions,
-                             packet_bytes, budget_s, state, rng, prob_cache)
+                             packet_bytes, budget_s, state, rng, prob_cache,
+                             faults)
         else:
             self._burst_pass(plan, groups, rates, true_state, receptions,
-                             packet_bytes, budget_s, state, rng)
+                             packet_bytes, budget_s, state, rng, faults)
 
         rounds = 0
         for _ in range(max(0, self.max_feedback_rounds)):
@@ -216,7 +251,14 @@ class FrameTransmitter:
                 break
             rounds += 1
             self._paced_pass(makeup, groups, rates, true_state, receptions,
-                             packet_bytes, budget_s, state, rng, prob_cache)
+                             packet_bytes, budget_s, state, rng, prob_cache,
+                             faults)
+
+        for user, reception in receptions.items():
+            tally = self._user_states.setdefault(user, _UserTxState())
+            tally.frames += 1
+            tally.packets_received += reception.packets_received
+            tally.packets_lost += reception.packets_lost
 
         return TransmissionResult(
             receptions=receptions,
@@ -302,7 +344,7 @@ class FrameTransmitter:
 
     def _paced_pass(
         self, plan, groups, rates, true_state, receptions,
-        packet_bytes, budget_s, state, rng, prob_cache=None,
+        packet_bytes, budget_s, state, rng, prob_cache=None, faults=None,
     ) -> None:
         last_group = -1
         for group_index, _unit, symbols in plan:
@@ -315,11 +357,11 @@ class FrameTransmitter:
                 state.clock_s += GROUP_SWITCH_OVERHEAD_S
                 last_group = group_index
             if prob_cache is None:
-                probs = self._member_probs(group, true_state, receptions)
+                probs = self._member_probs(group, true_state, receptions, faults)
             elif group_index in prob_cache:
                 probs = prob_cache[group_index]
             else:
-                probs = self._member_probs(group, true_state, receptions)
+                probs = self._member_probs(group, true_state, receptions, faults)
                 prob_cache[group_index] = probs
             airtime = packet_bytes / rates[group_index]
             draws = rng.random((len(symbols), len(probs)))
@@ -332,7 +374,7 @@ class FrameTransmitter:
 
     def _burst_pass(
         self, plan, groups, rates, true_state, receptions,
-        packet_bytes, budget_s, state, rng,
+        packet_bytes, budget_s, state, rng, faults=None,
     ) -> None:
         """No rate control: one big burst through the kernel queue."""
         queue = self.kernel_queue or KernelQueue()
@@ -362,7 +404,7 @@ class FrameTransmitter:
             state.packets_sent += 1
             if group_index not in member_prob_cache:
                 member_prob_cache[group_index] = self._member_probs(
-                    group, true_state, receptions
+                    group, true_state, receptions, faults
                 )
             probs = member_prob_cache[group_index]
             draws = rng.random(len(probs))
@@ -375,14 +417,46 @@ class FrameTransmitter:
         group: CandidateGroup,
         true_state: ChannelState,
         receptions: Dict[int, UserReception],
+        faults: Optional["FaultController"] = None,
     ) -> Dict[int, float]:
-        return {
-            u: self.link.delivery_probability(
+        link = self.link if faults is None else faults.wrap_link(self.link)
+        probs = {
+            u: link.delivery_probability(
                 u, group.plan.beam, true_state, group.plan.mcs
             )
             for u in group.user_ids
             if u in receptions
         }
+        if faults is not None:
+            # Erasure bursts kill packets independently of the channel:
+            # scaling the delivery probability (instead of drawing extra
+            # randomness) keeps the rng stream — and hence zero-intensity
+            # runs — bit-identical to the fault-free path.
+            scale = faults.erasure_scale()
+            if scale < 1.0:
+                probs = {u: p * scale for u, p in probs.items()}
+        return probs
+
+    # --------------------------------------------------------- churn state
+
+    def user_state(self, user: int) -> Optional[_UserTxState]:
+        """Cross-frame delivery tally for ``user`` (None if never served)."""
+        return self._user_states.get(user)
+
+    def tracked_users(self) -> List[int]:
+        """Users the transmitter currently holds per-receiver state for."""
+        return sorted(self._user_states)
+
+    def evict_user(self, user: int) -> None:
+        """Drop per-receiver state when ``user`` leaves the session.
+
+        Without this, churn leaks an entry per departed receiver for the
+        lifetime of the transmitter (they re-accumulate from scratch on
+        rejoin, as after a real re-association).
+        """
+        self._user_states.pop(user, None)
+        if OBS.mode:
+            OBS.count("transport.users_evicted")
 
     @staticmethod
     def _deliver(symbol, probs: Dict[int, float], draws, receptions) -> None:

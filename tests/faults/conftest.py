@@ -1,0 +1,65 @@
+"""Shared fixtures for the chaos suite: a small faultable streaming world."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.beamforming import GroupBeamPlanner, SectorCodebook
+from repro.core import MulticastStreamer, SystemConfig
+from repro.scheduling.groups import GroupEnumerator
+from repro.types import BeamformingScheme, Position
+
+RES = dict(height=144, width=256)
+
+
+@pytest.fixture(scope="package")
+def parts(request):
+    """(scenario, dnn, probes, trace) bundle shared by the session tests."""
+    scenario = request.getfixturevalue("scenario")
+    dnn = request.getfixturevalue("tiny_dnn")
+    probes = [request.getfixturevalue("hr_probe")]
+    trace = request.getfixturevalue("static_trace_2users")
+    return scenario, dnn, probes, trace
+
+
+@pytest.fixture(scope="package")
+def tx_world(request):
+    """A 2-user channel, enumerated groups and a probe (transmitter tests)."""
+    scenario = request.getfixturevalue("scenario")
+    hr_probe = request.getfixturevalue("hr_probe")
+    rng = np.random.default_rng(21)
+    users = {0: Position(3.0, 6.5), 1: Position(3.5, 5.5)}
+    state = scenario.channel_model.snapshot(users, rng)
+    codebook = SectorCodebook(scenario.array, num_beams=16, num_wide_beams=4)
+    planner = GroupBeamPlanner(
+        scenario.array, codebook, scenario.channel_model.budget,
+        BeamformingScheme.OPTIMIZED_MULTICAST,
+    )
+    enum = GroupEnumerator(planner, rate_scale=56.25, min_rate_mbps=0.0)
+    groups = enum.enumerate(state, [0, 1])
+    return scenario, state, groups, hr_probe
+
+
+def build_streamer(parts, seed=0, **overrides):
+    """A streamer over the shared world with config overrides applied."""
+    scenario, dnn, probes, _ = parts
+    config = SystemConfig(**RES, **overrides)
+    return MulticastStreamer(
+        config, dnn, probes, scenario.channel_model, seed=seed
+    )
+
+
+def fingerprint(outcome):
+    """Bit-exact digest of an outcome's per-(frame, user) stats."""
+    return [
+        (
+            s.frame_index,
+            s.user_id,
+            float(s.ssim).hex(),
+            float(s.psnr_db).hex(),
+            tuple(float(b).hex() for b in s.bytes_received_per_layer),
+            bool(s.deadline_met),
+        )
+        for s in outcome.stats
+    ]

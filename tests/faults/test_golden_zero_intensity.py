@@ -1,0 +1,109 @@
+"""Zero-intensity faults must be bit-identical to the golden 24-case suite.
+
+A fault layer that perturbs the stream *when all its magnitudes are zero*
+would silently invalidate every chaos experiment's baseline.  These tests
+pin the two safety properties: a session with faults disabled entirely, and
+a session running under an *active* schedule whose events all have zero
+magnitude/probability, both reproduce the recorded golden snapshots bit for
+bit (floats compared as IEEE-754 hex).
+"""
+
+import json
+
+import pytest
+
+from repro.core import MulticastStreamer, SystemConfig
+from repro.faults import FaultController, FaultEvent, FaultKind, FaultSchedule
+from repro.types import SchedulerKind
+
+from tests.core.golden_cases import (
+    CASES,
+    GOLDEN_PATH,
+    HEIGHT,
+    NUM_FRAMES,
+    POLICIES,
+    STREAM_SEED,
+    WIDTH,
+    build_environment,
+    case_key,
+    serialize_stat,
+)
+
+#: A representative slice of the 24 golden cases (one per policy, plus the
+#: round-robin/ablation corner) — each zero-intensity run streams the full
+#: 7-frame session, so the whole matrix would be needlessly slow here.
+SELECTED = [
+    CASES[0],
+    next(c for c in CASES if c[1] == "no_update"),
+    next(c for c in CASES if c[1] == "no_update_frozen"),
+    next(c for c in CASES if c[0] == "round_robin" and not c[2] and not c[3]),
+]
+
+
+def _zero_intensity_events(users):
+    """An always-active schedule whose faults are all magnitude zero."""
+    events = [
+        FaultEvent(FaultKind.BLOCKAGE, 0.0, 10.0, user=u, magnitude_db=0.0)
+        for u in users
+    ]
+    events.append(FaultEvent(FaultKind.SNR_DIP, 0.0, 10.0, magnitude_db=0.0))
+    events.append(FaultEvent(FaultKind.ERASURE, 0.0, 10.0, probability=0.0))
+    return events
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def environment():
+    return build_environment()
+
+
+def _stream_case(environment, case, faults):
+    dnn, probes, channel_model, trace = environment
+    scheduler, policy, source_coding, rate_control = case
+    config = SystemConfig(
+        height=HEIGHT,
+        width=WIDTH,
+        scheduler=SchedulerKind(scheduler),
+        source_coding=source_coding,
+        rate_control=rate_control,
+        **POLICIES[policy],
+    )
+    streamer = MulticastStreamer(
+        config, dnn, probes, channel_model, seed=STREAM_SEED
+    )
+    outcome = streamer.session(trace, faults=faults).run(NUM_FRAMES)
+    return [serialize_stat(stat) for stat in outcome.stats]
+
+
+class TestZeroIntensityGolden:
+    @pytest.mark.parametrize(
+        "case", SELECTED, ids=[case_key(*c) for c in SELECTED]
+    )
+    def test_zero_intensity_schedule_bit_identical(
+        self, golden, environment, case
+    ):
+        _, _, _, trace = environment
+        controller = FaultController(
+            FaultSchedule(events=_zero_intensity_events(trace.user_ids()))
+        )
+        current = _stream_case(environment, case, controller)
+        assert current == golden[case_key(*case)]
+
+    def test_disabled_faults_never_instantiate_a_controller(
+        self, golden, environment
+    ):
+        dnn, probes, channel_model, trace = environment
+        config = SystemConfig(height=HEIGHT, width=WIDTH)
+        streamer = MulticastStreamer(
+            config, dnn, probes, channel_model, seed=STREAM_SEED
+        )
+        session = streamer.session(trace)
+        current = [
+            serialize_stat(s) for s in session.run(NUM_FRAMES).stats
+        ]
+        assert session.faults is None
+        assert current == golden[case_key(*CASES[0])]

@@ -1,0 +1,126 @@
+"""Injector effects at the transmitter seam: erasure bursts and blockage."""
+
+import numpy as np
+
+from repro.faults import FaultController, FaultEvent, FaultKind, FaultSchedule
+from repro.fountain.block import FrameBlockEncoder
+from repro.scheduling.coding_groups import UnitAssignment
+from repro.transport import FrameTransmitter, LinkModel
+
+
+def _encoder(probe):
+    return FrameBlockEncoder(0, probe.layered)
+
+
+def _assignments(encoder, group_index, units=3):
+    unit_bytes = encoder.unit_nbytes()
+    return [
+        UnitAssignment(group_index, 0, sub, unit_bytes)
+        for sub in range(units)
+    ]
+
+
+def _transmitter(scenario, **kwargs):
+    return FrameTransmitter(
+        link=LinkModel(scenario.channel_model, associated_user=0), **kwargs
+    )
+
+
+def _controller(events):
+    controller = FaultController(FaultSchedule(events=list(events)))
+    controller.begin_frame(0, 0.0, [0, 1])
+    return controller
+
+
+class TestErasureBurst:
+    def test_total_erasure_kills_every_packet(self, tx_world):
+        scenario, state, groups, probe = tx_world
+        encoder = _encoder(probe)
+        faults = _controller([
+            FaultEvent(FaultKind.ERASURE, 0.0, 10.0, probability=1.0),
+        ])
+        result = _transmitter(scenario, max_feedback_rounds=0).transmit(
+            encoder, _assignments(encoder, 0), groups, state, 1 / 30,
+            np.random.default_rng(1), faults=faults,
+        )
+        assert result.packets_sent > 0
+        for reception in result.receptions.values():
+            assert reception.packets_received == 0
+
+    def test_partial_erasure_loses_packets(self, tx_world):
+        scenario, state, groups, probe = tx_world
+        clean_encoder = _encoder(probe)
+        clean = _transmitter(scenario, max_feedback_rounds=0).transmit(
+            clean_encoder, _assignments(clean_encoder, 0), groups, state,
+            1 / 30, np.random.default_rng(2),
+        )
+        faulted_encoder = _encoder(probe)
+        faults = _controller([
+            FaultEvent(FaultKind.ERASURE, 0.0, 10.0, probability=0.6),
+        ])
+        faulted = _transmitter(scenario, max_feedback_rounds=0).transmit(
+            faulted_encoder, _assignments(faulted_encoder, 0), groups, state,
+            1 / 30, np.random.default_rng(2), faults=faults,
+        )
+        clean_rx = sum(r.packets_received for r in clean.receptions.values())
+        faulted_rx = sum(
+            r.packets_received for r in faulted.receptions.values()
+        )
+        assert faulted_rx < clean_rx
+
+
+class TestBlockageBurst:
+    def test_deep_blockage_degrades_target_user(self, tx_world):
+        scenario, state, groups, probe = tx_world
+        encoder = _encoder(probe)
+        faults = _controller([
+            FaultEvent(FaultKind.BLOCKAGE, 0.0, 10.0, user=1,
+                       magnitude_db=60.0),
+        ])
+        result = _transmitter(scenario, max_feedback_rounds=0).transmit(
+            encoder, _assignments(encoder, 0), groups, state, 1 / 30,
+            np.random.default_rng(3), faults=faults,
+        )
+        blocked = result.receptions[1]
+        unblocked = result.receptions[0]
+        assert blocked.packets_received < unblocked.packets_received
+
+    def test_zero_magnitude_is_bit_identical(self, tx_world):
+        """Zero-intensity attenuation must not perturb probabilities or the
+        rng stream: receptions match the fault-free run exactly."""
+        scenario, state, groups, probe = tx_world
+        clean_encoder = _encoder(probe)
+        clean = _transmitter(scenario).transmit(
+            clean_encoder, _assignments(clean_encoder, 0), groups, state,
+            1 / 30, np.random.default_rng(4),
+        )
+        faulted_encoder = _encoder(probe)
+        faults = _controller([
+            FaultEvent(FaultKind.BLOCKAGE, 0.0, 10.0, user=0,
+                       magnitude_db=0.0),
+            FaultEvent(FaultKind.ERASURE, 0.0, 10.0, probability=0.0),
+        ])
+        faulted = _transmitter(scenario).transmit(
+            faulted_encoder, _assignments(faulted_encoder, 0), groups, state,
+            1 / 30, np.random.default_rng(4), faults=faults,
+        )
+        for user in clean.receptions:
+            assert (
+                clean.receptions[user].packets_received
+                == faulted.receptions[user].packets_received
+            )
+            assert (
+                clean.receptions[user].packets_lost
+                == faulted.receptions[user].packets_lost
+            )
+
+
+class TestActiveUsersRestriction:
+    def test_departed_user_gets_no_reception(self, tx_world):
+        scenario, state, groups, probe = tx_world
+        encoder = _encoder(probe)
+        result = _transmitter(scenario).transmit(
+            encoder, _assignments(encoder, 0), groups, state, 1 / 30,
+            np.random.default_rng(5), active_users=[0],
+        )
+        assert set(result.receptions) == {0}

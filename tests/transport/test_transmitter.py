@@ -210,6 +210,67 @@ class TestSourceCodingModes:
         assert result.packets_sent > 0
 
 
+class TestUserStateLifecycle:
+    def test_tallies_accumulate_across_frames(self, world):
+        scenario, state, groups, probe = world
+        group = max(groups, key=lambda g: len(g.user_ids))
+        tx = _transmitter(scenario)
+        for frame in range(2):
+            encoder = _encoder(probe, frame_index=frame)
+            tx.transmit(
+                encoder, _assignments(encoder, group.index), groups, state,
+                1 / 30, np.random.default_rng(30 + frame),
+            )
+        assert tx.tracked_users() == [0, 1]
+        for user in (0, 1):
+            tally = tx.user_state(user)
+            assert tally.frames == 2
+            if user in group.user_ids:
+                assert tally.packets_received + tally.packets_lost > 0
+
+    def test_evict_user_drops_state(self, world):
+        """Regression: a departed receiver's per-user state must not leak
+        for the lifetime of the transmitter."""
+        scenario, state, groups, probe = world
+        tx = _transmitter(scenario)
+        encoder = _encoder(probe)
+        tx.transmit(
+            encoder, _assignments(encoder, 0), groups, state, 1 / 30,
+            np.random.default_rng(32),
+        )
+        assert tx.user_state(1) is not None
+        tx.evict_user(1)
+        assert tx.user_state(1) is None
+        assert tx.tracked_users() == [0]
+        tx.evict_user(99)  # unknown user is a no-op
+        assert tx.tracked_users() == [0]
+
+    def test_rejoin_restarts_tally_from_scratch(self, world):
+        scenario, state, groups, probe = world
+        tx = _transmitter(scenario)
+        for frame in range(3):
+            encoder = _encoder(probe, frame_index=frame)
+            tx.transmit(
+                encoder, _assignments(encoder, 0), groups, state, 1 / 30,
+                np.random.default_rng(40 + frame),
+            )
+            if frame == 0:
+                tx.evict_user(1)
+        assert tx.user_state(0).frames == 3
+        assert tx.user_state(1).frames == 2
+
+    def test_active_users_restricts_receptions_and_tallies(self, world):
+        scenario, state, groups, probe = world
+        tx = _transmitter(scenario)
+        encoder = _encoder(probe)
+        result = tx.transmit(
+            encoder, _assignments(encoder, 0), groups, state, 1 / 30,
+            np.random.default_rng(33), active_users=[0],
+        )
+        assert set(result.receptions) == {0}
+        assert tx.tracked_users() == [0]
+
+
 class TestBurstMode:
     def test_no_rate_control_uses_queue(self, world):
         scenario, state, groups, probe = world
