@@ -35,12 +35,15 @@ GATED_METRICS = (
     ("fountain_decode", "incremental_msymbols_per_s"),
     ("ssim", "frames_per_s_float32"),
     ("emulation", "optimized_runs_per_s"),
+    ("emulation_scale", "speedup_at_100_users"),
+    ("emulation_scale", "optimized_runs_per_s_at_100_users"),
 )
 
 #: Correctness booleans that must hold in the candidate regardless of speed.
 REQUIRED_FLAGS = (
     ("emulation", "metrics_identical"),
     ("emulation", "decoded_frames_identical"),
+    ("emulation_scale", "metrics_identical"),
 )
 
 DEFAULT_TOLERANCE = 0.30
@@ -107,6 +110,20 @@ def compare(
     for stage, key in REQUIRED_FLAGS:
         value = cand_stages.get(stage, {}).get(key)
         flags.append({"flag": f"{stage}.{key}", "value": value, "ok": bool(value)})
+
+    # Parallel jigsaw encode must never lose to serial (the parallel_map
+    # break-even fallback guarantees this up to timing noise, bounded by
+    # the same tolerance as the throughput metrics).
+    jig = cand_stages.get("jigsaw_encode", {})
+    fps_parallel = jig.get("fps_parallel")
+    fps_serial = jig.get("fps_serial")
+    if fps_parallel is not None and fps_serial:
+        ratio = float(fps_parallel) / float(fps_serial)
+        flags.append({
+            "flag": "jigsaw_encode.parallel_not_slower",
+            "value": round(ratio, 3),
+            "ok": ratio >= floor,
+        })
 
     passed = all(r["ok"] for r in rows) and all(f["ok"] for f in flags)
     return {

@@ -137,7 +137,6 @@ class RobustMpc(_MpcBase):
         return self._harmonic_mean() / discount
 
 
-@dataclass
 class AbrOutcome(OutcomeStats):
     """Per-frame quality of an ABR session (comparable to StreamOutcome)."""
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Mapping, Optional
 
 from ..errors import ConfigurationError
 from ..faults.config import FaultConfig
@@ -34,6 +34,11 @@ class SystemConfig:
         codebook_beams, codebook_wide_beams: Predefined-codebook layout.
         min_group_rate_mbps: Group pruning threshold (Sec 2.4).
         exhaustive_max_users: Exhaustive group enumeration limit.
+        max_group_size: Cap on multicast group membership during candidate
+            enumeration.  ``None`` (default) enumerates unbounded
+            azimuth-contiguous windows, exactly as before; setting a cap
+            bounds the candidate count to O(N x cap) so thousand-receiver
+            cohort sweeps plan in linear time.
         optimizer_iterations: Problem-1 gradient steps.
         traffic_penalty_per_byte: The paper's lambda.
         max_feedback_rounds: Retransmission rounds per frame.
@@ -68,6 +73,7 @@ class SystemConfig:
     codebook_wide_beams: int = 8
     min_group_rate_mbps: float = 200.0
     exhaustive_max_users: int = 4
+    max_group_size: Optional[int] = None
     optimizer_iterations: int = 120
     traffic_penalty_per_byte: float = 1e-9
     max_feedback_rounds: int = 2
@@ -92,6 +98,10 @@ class SystemConfig:
         if self.beacon_interval_s <= 0:
             raise ConfigurationError(
                 f"beacon interval must be positive, got {self.beacon_interval_s}"
+            )
+        if self.max_group_size is not None and self.max_group_size < 2:
+            raise ConfigurationError(
+                f"max_group_size must be at least 2, got {self.max_group_size}"
             )
         if not 0.0 <= self.retransmit_reserve < 1.0:
             raise ConfigurationError(

@@ -27,10 +27,16 @@ from ..errors import ConfigurationError
 from ..faults import FaultController
 from ..fountain.block import FrameBlockEncoder
 from ..obs import OBS
+from ..perf.mode import seed_path_active
 from ..quality.curves import FrameFeatureContext
 from ..scheduling import AllocationResult, assign_coding_groups
-from ..transport import BandwidthEstimator
+from ..transport import (
+    BandwidthEstimator,
+    BandwidthTracker,
+    CohortBandwidthEstimator,
+)
 from ..types import FrameStats, OutcomeStats
+from ..video.jigsaw import SUBLAYER_COUNTS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..phy.csi import CsiTrace
@@ -42,7 +48,6 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .streamer import MulticastStreamer
 
 
-@dataclass
 class StreamOutcome(OutcomeStats):
     """Everything a streaming session produced.
 
@@ -71,7 +76,7 @@ class SessionState:
             per user currently inside a feedback outage.
     """
 
-    bw_estimators: Dict[int, BandwidthEstimator]
+    bw_estimators: Dict[int, BandwidthTracker]
     allocation: Optional[AllocationResult] = None
     last_plan_time: float = -np.inf
     planned_users: Optional[Tuple[int, ...]] = None
@@ -256,6 +261,10 @@ class FeedbackUpdater:
 
     def run(self, ctx: FrameContext, session: "StreamSession") -> None:
         assert ctx.result is not None
+        cohort = ctx.result.cohort
+        if cohort is not None and session.cohort_bw is not None:
+            self._run_cohort(ctx, session, cohort)
+            return
         faults = session.faults
         for user in ctx.users:
             if faults is not None:
@@ -282,6 +291,49 @@ class FeedbackUpdater:
                 float(np.clip(fraction, 0.0, 1.0)), session.streamer.rng
             )
 
+    @staticmethod
+    def _run_cohort(
+        ctx: FrameContext, session: "StreamSession", cohort
+    ) -> None:
+        """Masked cohort feedback: one batched noise draw, array EWMA.
+
+        Receivers inside a feedback outage decay as one masked operation;
+        everyone else folds their delivery fraction in through a single
+        ``observe_fraction_rows`` call whose noise draws land in the same
+        rng-stream order as the per-user loop.
+        """
+        faults = session.faults
+        estimator = session.cohort_bw
+        assert estimator is not None
+        staleness = session.state.feedback_staleness
+        if faults is not None:
+            reporting = []
+            silent = []
+            for user in ctx.users:
+                if faults.feedback_lost(user):
+                    silent.append(user)
+                    staleness[user] = staleness.get(user, 0) + 1
+                else:
+                    reporting.append(user)
+                    staleness.pop(user, None)
+            if silent:
+                estimator.decay_rows(
+                    estimator.rows(silent), session.config.faults.stale_decay
+                )
+        else:
+            reporting = list(ctx.users)
+        if not reporting:
+            return
+        rows = cohort.member_rows(reporting)
+        received = cohort.packets_received[rows]
+        total = received + cohort.packets_lost[rows]
+        fractions = np.where(total > 0, received / np.maximum(total, 1), 1.0)
+        estimator.observe_fraction_rows(
+            estimator.rows(reporting),
+            np.clip(fractions, 0.0, 1.0),
+            session.streamer.rng,
+        )
+
 
 class Scorer:
     """Decode at every receiver and score SSIM/PSNR against the reference."""
@@ -290,6 +342,10 @@ class Scorer:
 
     def run(self, ctx: FrameContext, session: "StreamSession") -> None:
         assert ctx.result is not None
+        cohort = ctx.result.cohort
+        if cohort is not None:
+            self._run_cohort(ctx, session, cohort)
+            return
         for user in ctx.users:
             reception = ctx.result.receptions[user]
             masks = reception.decoder.sublayer_masks()
@@ -306,6 +362,38 @@ class Scorer:
                     deadline_met=ctx.deadline_met,
                 )
             )
+
+    @staticmethod
+    def _run_cohort(
+        ctx: FrameContext, session: "StreamSession", cohort
+    ) -> None:
+        """Score from cohort arrays: quality is measured once per distinct
+        decode pattern and broadcast to every receiver sharing it, and the
+        frame's stats land as one columnar block."""
+        rows = cohort.member_rows(ctx.users)
+        matrices = cohort.decoded_matrices()
+        signatures = np.concatenate(
+            [matrix[rows] for matrix in matrices], axis=1
+        )
+        unique, inverse = np.unique(signatures, axis=0, return_inverse=True)
+        bounds = np.cumsum([0] + list(SUBLAYER_COUNTS))
+        quality = np.empty(unique.shape[0])
+        quality_db = np.empty(unique.shape[0])
+        for p, signature in enumerate(unique):
+            masks = [
+                signature[bounds[layer]:bounds[layer + 1]]
+                for layer in range(len(SUBLAYER_COUNTS))
+            ]
+            quality[p], quality_db[p] = ctx.probe.measure_masks(masks)
+        layer_bytes = cohort.bytes_per_layer_matrix()[rows]
+        session.outcome.append_block(
+            ctx.frame_index,
+            list(ctx.users),
+            quality[inverse],
+            quality_db[inverse],
+            layer_bytes,
+            ctx.deadline_met,
+        )
 
 
 def default_stages() -> List[PipelineStage]:
@@ -352,9 +440,19 @@ class StreamSession:
         self.config: "SystemConfig" = streamer.config
         self.trace = trace
         self.users: List[int] = trace.user_ids()
-        self.state = SessionState(
-            bw_estimators={u: BandwidthEstimator() for u in self.users}
-        )
+        self.cohort_bw: Optional[CohortBandwidthEstimator]
+        if seed_path_active():
+            self.cohort_bw = None
+            bw_estimators: Dict[int, BandwidthTracker] = {
+                u: BandwidthEstimator() for u in self.users
+            }
+        else:
+            # Optimized mode: one array-backed estimator for the whole
+            # cohort; per-user access (joins/resets, strategies) goes
+            # through scalar views over the same rows.
+            self.cohort_bw = CohortBandwidthEstimator(self.users)
+            bw_estimators = {u: self.cohort_bw.view(u) for u in self.users}
+        self.state = SessionState(bw_estimators=bw_estimators)
         self.strategy = (
             strategy if strategy is not None else strategy_for(streamer.config)
         )

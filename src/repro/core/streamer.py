@@ -30,7 +30,13 @@ from ..scheduling import (
     TimeAllocationOptimizer,
     round_robin_allocation,
 )
-from ..transport import BandwidthEstimator, FrameTransmitter, LinkModel
+from ..transport import (
+    BandwidthTracker,
+    CohortBandwidthEstimator,
+    FrameTransmitter,
+    LinkModel,
+)
+from ..transport.bandwidth import _CohortBandwidthView
 from ..types import SchedulerKind, validate_seed
 from ..video.dataset import FrameQualityProbe
 from ..video.jigsaw import JigsawCodec
@@ -39,6 +45,21 @@ from .pipeline import PipelineStage, StreamOutcome, StreamSession
 from .policy import AdaptationStrategy
 
 __all__ = ["MulticastStreamer", "StreamOutcome"]
+
+
+def _cohort_estimator(
+    bw_estimators: Dict[int, BandwidthTracker],
+) -> Optional[CohortBandwidthEstimator]:
+    """The shared cohort estimator if every entry is a view over it."""
+    parent: Optional[CohortBandwidthEstimator] = None
+    for estimator in bw_estimators.values():
+        if not isinstance(estimator, _CohortBandwidthView):
+            return None
+        if parent is None:
+            parent = estimator.parent
+        elif estimator.parent is not parent:
+            return None
+    return parent
 
 
 class MulticastStreamer:
@@ -97,6 +118,7 @@ class MulticastStreamer:
             min_rate_mbps=config.min_group_rate_mbps,
             exhaustive_max_users=config.exhaustive_max_users,
             rate_scale=config.rate_scale,
+            max_group_size=config.max_group_size,
         )
         self.optimizer = TimeAllocationOptimizer(
             quality_model,
@@ -154,9 +176,12 @@ class MulticastStreamer:
     def _rate_limits(
         self,
         allocation: AllocationResult,
-        bw_estimators: Dict[int, BandwidthEstimator],
+        bw_estimators: Dict[int, BandwidthTracker],
     ) -> Dict[int, float]:
         """Per-group pacing caps from the previous frame's receiver feedback."""
+        cohort = _cohort_estimator(bw_estimators)
+        if cohort is not None:
+            return self._rate_limits_cohort(allocation, bw_estimators, cohort)
         limits: Dict[int, float] = {}
         for group in allocation.groups:
             fractions = [
@@ -169,4 +194,30 @@ class MulticastStreamer:
                 # Estimates hold smoothed delivery fractions; the group's
                 # sustainable goodput is fraction x nominal MCS goodput.
                 limits[group.index] = float(min(fractions)) * group.rate_bytes_per_s
+        return limits
+
+    @staticmethod
+    def _rate_limits_cohort(
+        allocation: AllocationResult,
+        bw_estimators: Dict[int, BandwidthTracker],
+        cohort: "CohortBandwidthEstimator",
+    ) -> Dict[int, float]:
+        """Array twin of :meth:`_rate_limits` over cohort estimator rows.
+
+        ``numpy.min`` over float64 rows equals Python's ``min`` over the
+        same floats bitwise, so the pacing caps match the per-user loop
+        exactly.
+        """
+        estimates = cohort.estimates()
+        has = cohort.has_estimate()
+        limits: Dict[int, float] = {}
+        for group in allocation.groups:
+            rows = cohort.rows(
+                [u for u in group.user_ids if u in bw_estimators]
+            )
+            rows = rows[has[rows]]
+            if rows.size:
+                limits[group.index] = (
+                    float(estimates[rows].min()) * group.rate_bytes_per_s
+                )
         return limits

@@ -71,3 +71,26 @@ class FaultedLinkModel:
             u: self.delivery_probability(u, beam, true_state, mcs)
             for u in users
         }
+
+    def delivery_probability_array(
+        self,
+        user_ids,
+        beam: np.ndarray,
+        true_state: "ChannelState",
+        mcs: McsEntry,
+    ) -> np.ndarray:
+        """Cohort delivery probabilities under the faulted channel.
+
+        Gathers the controller's per-user RSS offsets (pure schedule
+        lookups, no randomness) and delegates to the wrapped model's array
+        path, preserving bit-identity with the per-user delegation above.
+        """
+        users = list(user_ids)
+        offsets = np.fromiter(
+            (self.controller.rss_offset_db(u) for u in users),
+            dtype=np.float64,
+            count=len(users),
+        )
+        return self.inner.delivery_probability_array(
+            users, beam, true_state, mcs, rss_offsets_db=offsets
+        )

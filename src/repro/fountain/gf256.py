@@ -139,6 +139,38 @@ def gf_matmul_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return out
 
 
+def gf_rank(matrix: np.ndarray) -> int:
+    """Rank of a uint8 matrix over GF(256).
+
+    Forward elimination only — no back-substitution, no right-hand side —
+    so the cohort decodability check (``rank == k``?) costs roughly half a
+    :func:`gf_solve` and never copies symbol payloads.
+    """
+    a = np.atleast_2d(np.array(matrix, dtype=np.uint8))
+    m, k = a.shape
+    if m == 0 or k == 0:
+        return 0
+    row = 0
+    for col in range(k):
+        pivot_candidates = np.nonzero(a[row:, col])[0]
+        if pivot_candidates.size == 0:
+            continue
+        pivot = row + int(pivot_candidates[0])
+        if pivot != row:
+            a[[row, pivot]] = a[[pivot, row]]
+        inv = gf_inverse(int(a[row, col]))
+        a[row] = gf_scale_row(a[row], inv)
+        targets = np.nonzero(a[row + 1:, col])[0]
+        if targets.size:
+            targets = targets + row + 1
+            factors = a[targets, col]
+            a[targets] ^= gf_multiply(factors[:, None], a[row][None, :])
+        row += 1
+        if row == m:
+            break
+    return row
+
+
 def gf_solve(
     matrix: np.ndarray, rhs: np.ndarray
 ) -> Optional[Tuple[np.ndarray, np.ndarray]]:

@@ -23,13 +23,19 @@ from .mode import (
     seed_path_active,
     set_perf_mode,
 )
-from .parallel import JOBS_ENV_VAR, effective_jobs, parallel_map
+from .parallel import (
+    JOBS_ENV_VAR,
+    POOL_BREAK_EVEN_S,
+    effective_jobs,
+    parallel_map,
+)
 from .timing import (
     Stopwatch,
     read_bench_report,
     speedup,
     throughput,
     time_call,
+    time_call_best,
     write_bench_report,
 )
 
@@ -42,11 +48,13 @@ __all__ = [
     "set_perf_mode",
     "JOBS_ENV_VAR",
     "effective_jobs",
+    "POOL_BREAK_EVEN_S",
     "parallel_map",
     "Stopwatch",
     "read_bench_report",
     "speedup",
     "throughput",
     "time_call",
+    "time_call_best",
     "write_bench_report",
 ]

@@ -16,6 +16,14 @@ heavyweight shared state (trained DNN, probe frames) is inherited
 copy-on-write instead of being pickled per task.  An ``initializer`` hook
 covers spawn-only platforms; the serial path invokes it in-process so the
 same worker functions run unchanged at any job count.
+
+Forking a pool costs tens of milliseconds per worker before the first task
+runs, so small jobs lose to a plain loop (the jigsaw-encode benchmark
+measured a 4.4x slowdown at 24 frames on a busy runner).  ``parallel_map``
+therefore *probes*: it runs the first item in-process, extrapolates the
+serial cost of the rest, and only spins up the pool when that estimate
+clears :data:`POOL_BREAK_EVEN_S`.  Pass ``break_even_s=0.0`` to force the
+pool regardless (e.g. when the first item is unrepresentative).
 """
 
 from __future__ import annotations
@@ -25,12 +33,19 @@ import os
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from functools import partial
+from time import perf_counter
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 from ..errors import ConfigurationError, ParallelWorkerError
 
 #: Environment variable overriding the default worker count.
 JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: Estimated remaining serial wall time (seconds) below which forking a
+#: process pool costs more than it saves.  Pool startup plus per-task
+#: pickling runs ~50-100 ms per worker on shared CI runners; half a second
+#: of real work is comfortably past break-even at any job count.
+POOL_BREAK_EVEN_S = 0.5
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -91,6 +106,7 @@ def parallel_map(
     jobs: Optional[int] = None,
     initializer: Optional[Callable[..., None]] = None,
     initargs: Sequence = (),
+    break_even_s: Optional[float] = None,
 ) -> List[_R]:
     """Map ``fn`` over ``items``, optionally across a process pool.
 
@@ -101,10 +117,16 @@ def parallel_map(
         initializer: Per-worker setup hook (e.g. installing shared context);
             called in-process when running serially.
         initargs: Arguments for ``initializer``.
+        break_even_s: Estimated remaining serial wall time below which the
+            pool is skipped and the map runs serially (results are
+            identical either way).  ``None`` uses
+            :data:`POOL_BREAK_EVEN_S`; ``0.0`` disables the probe and
+            always uses the pool when ``jobs > 1``.
 
     Returns:
         Results in the order of ``items``.  Serial-path exceptions
-        propagate unchanged; a pool-worker exception is re-raised as
+        (including one raised by the first, probed item) propagate
+        unchanged; a pool-worker exception is re-raised as
         :class:`repro.errors.ParallelWorkerError` carrying the original
         exception type, message and worker-side traceback in its message.
     """
@@ -112,12 +134,37 @@ def parallel_map(
     count = effective_jobs(jobs)
     if work:
         count = min(count, len(work))
+    if break_even_s is None:
+        break_even_s = POOL_BREAK_EVEN_S
+    if not work:
+        if initializer is not None:
+            initializer(*initargs)
+        return []
     if count <= 1:
         if initializer is not None:
             initializer(*initargs)
         return [fn(item) for item in work]
     mp_context = _pool_context()
-    if initializer is not None and mp_context.get_start_method() == "fork":
+    fork = mp_context.get_start_method() == "fork"
+    prefix: List[_R] = []
+    if break_even_s > 0.0:
+        # Probe: run the first item in-process and extrapolate the serial
+        # cost of the rest.  Below break-even the pool is pure overhead —
+        # fork/spawn startup dwarfs the work — so finish serially.
+        if initializer is not None:
+            initializer(*initargs)
+            if fork:
+                # Forked workers inherit the initialized parent globals
+                # copy-on-write; spawn workers still need the hook.
+                initializer, initargs = None, ()
+        probe_t0 = perf_counter()
+        prefix.append(fn(work[0]))
+        item_s = perf_counter() - probe_t0
+        work = work[1:]
+        if not work or item_s * len(work) < break_even_s:
+            return prefix + [fn(item) for item in work]
+        count = min(count, len(work))
+    elif initializer is not None and fork:
         # Forked workers inherit parent globals copy-on-write: run the
         # initializer here once instead of pickling initargs (which may
         # hold many megabytes of shared context) into every worker.
@@ -129,4 +176,4 @@ def parallel_map(
         initializer=initializer,
         initargs=tuple(initargs),
     ) as pool:
-        return list(pool.map(partial(_run_task, fn), work))
+        return prefix + list(pool.map(partial(_run_task, fn), work))

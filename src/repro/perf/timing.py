@@ -39,6 +39,21 @@ def time_call(fn: Callable[[], _R]) -> Tuple[_R, float]:
     return result, time.perf_counter() - start
 
 
+def time_call_best(fn: Callable[[], _R], repeats: int = 5) -> Tuple[_R, float]:
+    """Run ``fn`` ``repeats`` times and return ``(last_result, best_seconds)``.
+
+    Best-of-N is the right statistic for sub-millisecond measurements on a
+    shared machine: scheduler preemption only ever adds time, so the minimum
+    is the closest observation to the true cost.
+    """
+    result, best = time_call(fn)
+    for _ in range(max(0, repeats - 1)):
+        result, elapsed = time_call(fn)
+        if elapsed < best:
+            best = elapsed
+    return result, best
+
+
 def throughput(units: float, seconds: float) -> float:
     """Units per second, guarding the zero-duration corner."""
     if seconds <= 0.0:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -70,6 +70,10 @@ class GroupEnumerator:
             threshold so no user is ever orphaned.
         exhaustive_max_users: Enumerate all subsets up to this many clients;
             above it, only azimuth-contiguous subsets.
+        max_group_size: Optional cap on group membership.  ``None`` keeps
+            the unbounded enumeration; a cap bounds the azimuth-window
+            candidate count to O(N x cap), which is what keeps planning
+            linear for thousand-receiver cohort runs.
     """
 
     def __init__(
@@ -78,15 +82,21 @@ class GroupEnumerator:
         min_rate_mbps: float = 200.0,
         exhaustive_max_users: int = 4,
         rate_scale: float = 1.0,
+        max_group_size: Optional[int] = None,
     ) -> None:
         if min_rate_mbps < 0:
             raise SchedulingError(f"min_rate_mbps must be >= 0, got {min_rate_mbps}")
         if rate_scale <= 0:
             raise SchedulingError(f"rate_scale must be positive, got {rate_scale}")
+        if max_group_size is not None and max_group_size < 2:
+            raise SchedulingError(
+                f"max_group_size must be at least 2, got {max_group_size}"
+            )
         self.planner = planner
         self.min_rate_mbps = float(min_rate_mbps)
         self.exhaustive_max_users = int(exhaustive_max_users)
         self.rate_scale = float(rate_scale)
+        self.max_group_size = max_group_size
 
     def enumerate(
         self, state: ChannelState, user_ids: Sequence[int]
@@ -129,15 +139,17 @@ class GroupEnumerator:
     def _multiuser_subsets(
         self, state: ChannelState, users: List[int]
     ) -> List[Tuple[int, ...]]:
+        cap = self.max_group_size or len(users)
         if len(users) <= self.exhaustive_max_users:
             subsets = []
-            for size in range(2, len(users) + 1):
+            for size in range(2, min(len(users), cap) + 1):
                 subsets.extend(itertools.combinations(users, size))
             return subsets
         ordered = self._sort_by_azimuth(state, users)
         subsets = []
         for start in range(len(ordered)):
-            for end in range(start + 2, len(ordered) + 1):
+            stop = min(len(ordered), start + cap)
+            for end in range(start + 2, stop + 1):
                 subsets.append(tuple(sorted(ordered[start:end])))
         return sorted(set(subsets), key=lambda s: (len(s), s))
 

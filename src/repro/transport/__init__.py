@@ -12,7 +12,12 @@ tail-drops on overflow.
 from .leaky_bucket import LeakyBucket
 from .link import LinkModel, packet_error_rate
 from .kernel_queue import KernelQueue
-from .bandwidth import BandwidthEstimator
+from .bandwidth import (
+    BandwidthEstimator,
+    BandwidthTracker,
+    CohortBandwidthEstimator,
+)
+from .cohort import CohortUserReception, FrameCohort, UserTallies
 from .transmitter import FrameTransmitter, TransmissionResult, UserReception
 
 __all__ = [
@@ -21,6 +26,11 @@ __all__ = [
     "packet_error_rate",
     "KernelQueue",
     "BandwidthEstimator",
+    "BandwidthTracker",
+    "CohortBandwidthEstimator",
+    "CohortUserReception",
+    "FrameCohort",
+    "UserTallies",
     "FrameTransmitter",
     "TransmissionResult",
     "UserReception",

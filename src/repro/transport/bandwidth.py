@@ -12,7 +12,7 @@ symbols.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Protocol, Sequence
 
 import numpy as np
 
@@ -20,6 +20,31 @@ from ..errors import TransportError
 
 #: Number of packets in one measurement window (the paper's choice).
 MEASUREMENT_WINDOW_PACKETS = 100
+
+
+class BandwidthTracker(Protocol):
+    """Per-receiver bandwidth-feedback interface.
+
+    Implemented by the standalone :class:`BandwidthEstimator` (seed path)
+    and by :class:`_CohortBandwidthView`, the scalar adapter over one
+    :class:`CohortBandwidthEstimator` row (optimized path); session state
+    holds either interchangeably.
+    """
+
+    @property
+    def estimate_bytes_per_s(self) -> Optional[float]: ...
+
+    def observe_window(
+        self, delivered_bytes: float, window_s: float, rng: np.random.Generator
+    ) -> float: ...
+
+    def observe_fraction(
+        self, delivered_fraction: float, rng: np.random.Generator
+    ) -> float: ...
+
+    def decay(self, factor: float) -> Optional[float]: ...
+
+    def reset(self) -> None: ...
 
 
 class BandwidthEstimator:
@@ -117,3 +142,183 @@ class BandwidthEstimator:
     def reset(self) -> None:
         """Forget all measurements (e.g. after re-association)."""
         self._estimate_bytes_per_s = None
+
+
+class CohortBandwidthEstimator:
+    """Whole-cohort bandwidth estimation as parallel arrays.
+
+    One float64 estimate row per receiver plus a has-measurement mask,
+    addressed through a user-index map.  The per-step arithmetic is the
+    exact EWMA of :class:`BandwidthEstimator`, applied elementwise, and the
+    batched observe draws its measurement noise through a single
+    ``rng.normal(..., size=n)`` — which numpy fills in the same stream
+    order as ``n`` sequential scalar draws, so cohort and per-user
+    sessions stay bit-identical at equal seeds.
+
+    Per-user compatibility (the seed path, joins/resets, strategies poking
+    a single estimate) goes through :meth:`view`, a scalar adapter with the
+    :class:`BandwidthEstimator` interface writing through to the arrays.
+
+    Args:
+        users: Receiver ids; fixes the array row order.
+        smoothing: EWMA factor, as for :class:`BandwidthEstimator`.
+        noise_std_fraction: Relative measurement noise.
+    """
+
+    def __init__(
+        self,
+        users: Sequence[int],
+        smoothing: float = 0.6,
+        noise_std_fraction: float = 0.05,
+    ) -> None:
+        if not 0.0 < smoothing <= 1.0:
+            raise TransportError(f"smoothing must be in (0, 1], got {smoothing}")
+        self.smoothing = float(smoothing)
+        self.noise_std_fraction = float(noise_std_fraction)
+        self.users: List[int] = list(users)
+        self._index: Dict[int, int] = {u: i for i, u in enumerate(self.users)}
+        n = len(self.users)
+        self._est = np.zeros(n, dtype=np.float64)
+        self._has = np.zeros(n, dtype=bool)
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+    def rows(self, users: Sequence[int]) -> np.ndarray:
+        """Array rows for ``users`` (KeyError on an unknown receiver)."""
+        return np.fromiter(
+            (self._index[u] for u in users), dtype=np.intp, count=len(users)
+        )
+
+    def estimates(self) -> np.ndarray:
+        """Current estimates (bytes/s), NaN where no measurement exists."""
+        return np.where(self._has, self._est, np.nan)
+
+    def has_estimate(self) -> np.ndarray:
+        """Boolean per-row has-a-measurement mask (read-only view)."""
+        return self._has
+
+    def observe_fraction_rows(
+        self,
+        rows: np.ndarray,
+        fractions: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Fold delivery-fraction measurements for ``rows`` in, batched.
+
+        One noise draw per row, in row order.  Returns the updated
+        estimates for ``rows``.
+        """
+        fractions = np.asarray(fractions, dtype=np.float64)
+        if fractions.size and (
+            float(fractions.min()) < 0.0 or float(fractions.max()) > 1.0
+        ):
+            raise TransportError("fractions must be in [0, 1]")
+        # Exact op order of BandwidthEstimator.observe_window with a 1 s
+        # window: floor at 0, noise multiply, floor at 1e-9, EWMA.
+        measured = np.maximum(0.0, fractions / 1.0)
+        measured = measured * (
+            1.0 + rng.normal(0.0, self.noise_std_fraction, size=rows.size)
+        )
+        measured = np.maximum(measured, 1e-9)
+        seen = self._has[rows]
+        updated = np.where(
+            seen,
+            self.smoothing * measured + (1.0 - self.smoothing) * self._est[rows],
+            measured,
+        )
+        self._est[rows] = updated
+        self._has[rows] = True
+        return updated
+
+    def decay_rows(self, rows: np.ndarray, factor: float) -> None:
+        """Exponentially shrink stale estimates for ``rows`` (masked)."""
+        if not 0.0 < factor <= 1.0:
+            raise TransportError(f"decay factor must be in (0, 1], got {factor}")
+        target = rows[self._has[rows]]
+        if target.size:
+            self._est[target] = np.maximum(self._est[target] * factor, 1e-9)
+
+    def reset_rows(self, rows: np.ndarray) -> None:
+        """Forget all measurements for ``rows`` (re-association)."""
+        self._has[rows] = False
+        self._est[rows] = 0.0
+
+    def view(self, user: int) -> "_CohortBandwidthView":
+        """A per-user :class:`BandwidthEstimator`-compatible adapter."""
+        return _CohortBandwidthView(self, self._index[user])
+
+
+class _CohortBandwidthView:
+    """Scalar adapter over one :class:`CohortBandwidthEstimator` row.
+
+    Arithmetic mirrors :class:`BandwidthEstimator` operation for operation,
+    so a session can mix scalar updates (seed path, observability runs)
+    and batched updates over the same state without divergence.
+    """
+
+    def __init__(self, parent: CohortBandwidthEstimator, row: int) -> None:
+        self._parent = parent
+        self._row = row
+
+    @property
+    def parent(self) -> CohortBandwidthEstimator:
+        return self._parent
+
+    @property
+    def estimate_bytes_per_s(self) -> Optional[float]:
+        """Current smoothed estimate, or None before the first measurement."""
+        parent, row = self._parent, self._row
+        if not parent._has[row]:
+            return None
+        return float(parent._est[row])
+
+    def observe_window(
+        self,
+        delivered_bytes: float,
+        window_s: float,
+        rng: np.random.Generator,
+    ) -> float:
+        """Scalar twin of :meth:`BandwidthEstimator.observe_window`."""
+        if window_s <= 0:
+            raise TransportError(f"window must be positive, got {window_s}")
+        parent, row = self._parent, self._row
+        measured = max(0.0, delivered_bytes / window_s)
+        measured *= float(1.0 + rng.normal(0.0, parent.noise_std_fraction))
+        measured = max(measured, 1e-9)
+        if parent._has[row]:
+            value = (
+                parent.smoothing * measured
+                + (1.0 - parent.smoothing) * float(parent._est[row])
+            )
+        else:
+            value = measured
+        parent._est[row] = value
+        parent._has[row] = True
+        return value
+
+    def observe_fraction(
+        self, delivered_fraction: float, rng: np.random.Generator
+    ) -> float:
+        """Scalar twin of :meth:`BandwidthEstimator.observe_fraction`."""
+        if not 0.0 <= delivered_fraction <= 1.0:
+            raise TransportError(
+                f"fraction must be in [0, 1], got {delivered_fraction}"
+            )
+        return self.observe_window(delivered_fraction, 1.0, rng)
+
+    def decay(self, factor: float) -> Optional[float]:
+        """Scalar twin of :meth:`BandwidthEstimator.decay`."""
+        if not 0.0 < factor <= 1.0:
+            raise TransportError(f"decay factor must be in (0, 1], got {factor}")
+        parent, row = self._parent, self._row
+        if not parent._has[row]:
+            return None
+        parent._est[row] = max(float(parent._est[row]) * factor, 1e-9)
+        return float(parent._est[row])
+
+    def reset(self) -> None:
+        """Forget this receiver's measurements."""
+        parent, row = self._parent, self._row
+        parent._has[row] = False
+        parent._est[row] = 0.0

@@ -34,7 +34,7 @@ class KernelQueue:
     def admitted_mask(
         self,
         num_packets: int,
-        packet_bytes: float,
+        packet_bytes,
         drain_rate_bytes_per_s: float,
         window_s: float,
         rng: np.random.Generator,
@@ -43,7 +43,8 @@ class KernelQueue:
 
         Args:
             num_packets: Burst size written at once.
-            packet_bytes: Size of each packet.
+            packet_bytes: Size of each packet — a scalar for uniform
+                bursts, or a ``(num_packets,)`` array of per-packet sizes.
             drain_rate_bytes_per_s: Link drain rate.
             window_s: Time available for draining (the frame budget).
             rng: Randomness for which packets are dropped.
@@ -59,9 +60,20 @@ class KernelQueue:
         # only what drains during the write window plus the queue capacity
         # gets through.
         write_window_s = 0.5 * window_s
-        drained = int(
-            drain_rate_bytes_per_s * write_window_s / max(packet_bytes, 1e-9)
-        )
+        drain_budget = drain_rate_bytes_per_s * write_window_s
+        sizes = np.asarray(packet_bytes, dtype=np.float64)
+        if sizes.ndim == 0:
+            drained = int(drain_budget / max(float(sizes), 1e-9))
+        else:
+            if sizes.shape != (num_packets,):
+                raise TransportError(
+                    f"packet_bytes must be scalar or shape ({num_packets},), "
+                    f"got {sizes.shape}"
+                )
+            # Non-uniform burst: count how many packets fit the drain budget
+            # cumulatively (one searchsorted, no per-packet loop).
+            cumulative = np.cumsum(np.maximum(sizes, 1e-9))
+            drained = int(np.searchsorted(cumulative, drain_budget, side="right"))
         admitted = min(num_packets, self.capacity_packets + drained)
         mask = np.ones(num_packets, dtype=bool)
         overflow = num_packets - admitted

@@ -8,6 +8,8 @@ throughput; each transmitted packet consumes its size in credit.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..errors import TransportError
 
 
@@ -77,3 +79,55 @@ class LeakyBucket:
         if deficit <= 0:
             return 0.0
         return deficit / self.rate_bytes_per_s
+
+    def try_send_burst(self, nbytes: np.ndarray, now_s: float) -> np.ndarray:
+        """Consume credit for a FIFO burst arriving at once; admitted mask.
+
+        The pacer serves the burst head-of-line: packet ``i`` is admitted
+        iff the cumulative bytes through ``i`` fit the available credit, so
+        the admitted packets are always a prefix (a blocked packet blocks
+        everything queued behind it, as in a real pacer).  One refill and
+        one cumulative sum — no per-packet Python loop.
+
+        Args:
+            nbytes: ``(n,)`` array of positive packet sizes, burst order.
+            now_s: Arrival time of the burst.
+
+        Returns:
+            ``(n,)`` boolean mask of admitted packets.
+        """
+        sizes = np.asarray(nbytes, dtype=np.float64)
+        if sizes.ndim != 1:
+            raise TransportError(
+                f"burst sizes must be one-dimensional, got shape {sizes.shape}"
+            )
+        if sizes.size == 0:
+            return np.zeros(0, dtype=bool)
+        if float(sizes.min()) <= 0:
+            raise TransportError("burst packet sizes must be positive")
+        self._refill(now_s)
+        admitted = np.cumsum(sizes) <= self._credit + 1e-12
+        self._credit -= float(sizes[admitted].sum())
+        return admitted
+
+    def time_until_send_burst(
+        self, nbytes: np.ndarray, now_s: float
+    ) -> np.ndarray:
+        """Earliest send time offset for each packet of a FIFO burst.
+
+        Vectorized twin of :meth:`time_until_send` under head-of-line
+        order: packet ``i`` can leave once credit covers the cumulative
+        bytes through ``i``.  Does not consume credit.
+
+        Returns:
+            ``(n,)`` float array of seconds from ``now_s``, 0 where the
+            current credit already suffices.
+        """
+        sizes = np.asarray(nbytes, dtype=np.float64)
+        if sizes.ndim != 1:
+            raise TransportError(
+                f"burst sizes must be one-dimensional, got shape {sizes.shape}"
+            )
+        self._refill(now_s)
+        deficits = np.cumsum(sizes) - self._credit
+        return np.maximum(deficits, 0.0) / self.rate_bytes_per_s

@@ -14,7 +14,7 @@ raw PER.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -94,6 +94,91 @@ class LinkModel:
             )
         return prob
 
+    def delivery_probability_array(
+        self,
+        user_ids: Sequence[int],
+        beam: np.ndarray,
+        true_state: ChannelState,
+        mcs: McsEntry,
+        rss_offsets_db: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Delivery probabilities for a whole cohort under one beam/MCS.
+
+        Array-in/array-out companion to :meth:`delivery_probability`: the
+        margin/offset/erasure arithmetic and the final ``1 - PER`` step run
+        as whole-vector operations.  Two steps deliberately stay scalar per
+        element, because bit-identity with the per-user seed path is a hard
+        contract (the golden suites pin it):
+
+        * the beam-gain dot product — BLAS batches a stacked ``(n, Nt) @
+          beam`` through a different kernel than the per-user ``vdot``,
+          which can differ in the last ulp;
+        * the ``10 ** -margin`` PER mapping — numpy's SIMD ``power`` ufunc
+          differs from the scalar libm ``pow`` by 1-2 ulp over the
+          unclipped PER band.
+
+        Both run once per (group, beam) per frame and are memoized by the
+        transmitter, so they are off the per-symbol hot path.
+
+        Args:
+            user_ids: Cohort members, in draw-column order.
+            beam: Active transmit beam.
+            true_state: Ground-truth channels.
+            mcs: Modulation the packets are sent at.
+            rss_offsets_db: Optional per-user RSS offsets (fault
+                attenuation), aligned with ``user_ids``.
+
+        Returns:
+            ``float64`` array of per-user delivery probabilities, aligned
+            with ``user_ids``.
+        """
+        users = list(user_ids)
+        out = np.empty(len(users), dtype=np.float64)
+        if not users:
+            return out
+        if OBS.mode:
+            # The scalar path emits the per-user link gauges; route through
+            # it so observability runs see identical counters.
+            offsets = (
+                np.zeros(len(users))
+                if rss_offsets_db is None
+                else np.asarray(rss_offsets_db, dtype=np.float64)
+            )
+            for i, user in enumerate(users):
+                out[i] = self.delivery_probability(
+                    user, beam, true_state, mcs, float(offsets[i])
+                )
+            return out
+        missing = [u for u in users if u not in true_state.channels]
+        if missing:
+            raise TransportError(f"no channel for user {missing[0]}")
+        rss = np.fromiter(
+            (
+                self.channel_model.rss_dbm(beam, true_state.channels[u])
+                for u in users
+            ),
+            dtype=np.float64,
+            count=len(users),
+        )
+        if rss_offsets_db is not None:
+            offsets = np.asarray(rss_offsets_db, dtype=np.float64)
+            # Only add where non-zero, mirroring the scalar path's
+            # ``if rss_offset_db:`` guard (adding 0.0 flips -0.0 to +0.0).
+            nonzero = offsets != 0.0
+            if nonzero.any():
+                rss = rss.copy()
+                rss[nonzero] += offsets[nonzero]
+        margins = rss - mcs.sensitivity_dbm
+        per = np.fromiter(
+            (packet_error_rate(m) for m in margins),
+            dtype=np.float64,
+            count=len(users),
+        )
+        if self.associated_user is not None and self.associated_user in users:
+            i = users.index(self.associated_user)
+            per[i] = per[i] ** (1 + max(0, self.mac_retries))
+        return 1.0 - per
+
     def delivery_probabilities(
         self,
         users: Dict[int, None] | list,
@@ -102,6 +187,6 @@ class LinkModel:
         mcs: McsEntry,
     ) -> Dict[int, float]:
         """Delivery probability for several users under one beam/MCS."""
-        return {
-            u: self.delivery_probability(u, beam, true_state, mcs) for u in users
-        }
+        ordered = list(users)
+        probs = self.delivery_probability_array(ordered, beam, true_state, mcs)
+        return dict(zip(ordered, probs.tolist()))

@@ -32,6 +32,7 @@ from ..perf.mode import seed_path_active
 from ..phy.channel import ChannelState
 from ..scheduling.coding_groups import UnitAssignment
 from ..scheduling.groups import CandidateGroup
+from .cohort import CohortUserReception, FrameCohort, UserTallies, UserTally
 from .kernel_queue import KernelQueue
 from .link import LinkModel
 
@@ -57,19 +58,9 @@ class _TxState:
     dropped_at_queue: int
 
 
-@dataclass
-class _UserTxState:
-    """Cross-frame per-receiver delivery tallies kept by the transmitter.
-
-    Accumulated for every receiver the transmitter has served; when a
-    receiver leaves the session (churn), :meth:`FrameTransmitter.evict_user`
-    must drop its entry — otherwise departed receivers pin their state for
-    the lifetime of the transmitter.
-    """
-
-    frames: int = 0
-    packets_received: int = 0
-    packets_lost: int = 0
+#: Cross-frame per-receiver tally snapshot; the live state is the
+#: struct-of-arrays :class:`repro.transport.cohort.UserTallies`.
+_UserTxState = UserTally
 
 
 @dataclass
@@ -93,6 +84,9 @@ class TransmissionResult:
         packets_dropped_at_queue: Packets lost in the kernel queue (only in
             the no-rate-control mode).
         feedback_rounds_used: Retransmission rounds that actually ran.
+        cohort: Struct-of-arrays reception state when the vectorized path
+            ran (None on the seed / observability per-user path); cohort-
+            aware pipeline stages read it instead of per-user decoders.
     """
 
     receptions: Dict[int, UserReception]
@@ -100,6 +94,7 @@ class TransmissionResult:
     packets_sent: int
     packets_dropped_at_queue: int
     feedback_rounds_used: int
+    cohort: Optional[FrameCohort] = None
 
 
 @dataclass
@@ -123,8 +118,8 @@ class FrameTransmitter:
     max_feedback_rounds: int = 2
     kernel_queue: Optional[KernelQueue] = None
     bucket_capacity_packets: int = 10
-    _user_states: Dict[int, _UserTxState] = field(
-        default_factory=dict, init=False, repr=False, compare=False
+    _tallies: UserTallies = field(
+        default_factory=UserTallies, init=False, repr=False, compare=False
     )
 
     def transmit(
@@ -204,14 +199,6 @@ class FrameTransmitter:
         if active_users is not None:
             present = set(active_users)
             users = [u for u in users if u in present]
-        receptions = {
-            u: UserReception(
-                decoder=FrameBlockDecoder(
-                    encoder.frame_index, encoder.structure, encoder.symbol_size
-                )
-            )
-            for u in users
-        }
         limits = rate_limits_bytes_per_s or {}
         packet_bytes = encoder.symbol_size + HEADER_BYTES
 
@@ -225,6 +212,25 @@ class FrameTransmitter:
 
         state = _TxState(clock_s=0.0, packets_sent=0, dropped_at_queue=0)
         plan = self._expand_assignments(encoder, assignments, groups)
+
+        if not seed_path_active() and not OBS.mode:
+            # Vectorized cohort path: struct-of-arrays receiver state, one
+            # batched Bernoulli comparison per coding group.  Observability
+            # runs stay on the per-user path so the per-packet counters and
+            # fountain decode events keep firing.
+            return self._transmit_cohort(
+                encoder, assignments, groups, users, plan, rates, true_state,
+                packet_bytes, budget_s, state, rng, faults,
+            )
+
+        receptions = {
+            u: UserReception(
+                decoder=FrameBlockDecoder(
+                    encoder.frame_index, encoder.structure, encoder.symbol_size
+                )
+            )
+            for u in users
+        }
 
         # Delivery probabilities are deterministic per group within a frame
         # (fixed beam, MCS and true channel), so memoize them across plan
@@ -255,10 +261,9 @@ class FrameTransmitter:
                              faults)
 
         for user, reception in receptions.items():
-            tally = self._user_states.setdefault(user, _UserTxState())
-            tally.frames += 1
-            tally.packets_received += reception.packets_received
-            tally.packets_lost += reception.packets_lost
+            self._tallies.add(
+                user, reception.packets_received, reception.packets_lost
+            )
 
         return TransmissionResult(
             receptions=receptions,
@@ -266,6 +271,73 @@ class FrameTransmitter:
             packets_sent=state.packets_sent,
             packets_dropped_at_queue=state.dropped_at_queue,
             feedback_rounds_used=rounds,
+        )
+
+    def _transmit_cohort(
+        self,
+        encoder: FrameBlockEncoder,
+        assignments: Sequence[UnitAssignment],
+        groups: Sequence[CandidateGroup],
+        users: List[int],
+        plan: List[Tuple[int, CodingUnitId, list]],
+        rates: Dict[int, float],
+        true_state: ChannelState,
+        packet_bytes: int,
+        budget_s: float,
+        state: _TxState,
+        rng: np.random.Generator,
+        faults: Optional["FaultController"],
+    ) -> TransmissionResult:
+        """Cohort-vectorized twin of the per-user transmission body.
+
+        The draw-ordering contract: every plan entry consumes exactly the
+        same rng stream as the per-user path — one ``rng.random((symbols,
+        members))`` block per paced entry (drawn before the deadline cut),
+        one ``rng.random(members)`` per *sent* burst packet (batched as
+        ``(run, members)`` blocks, which numpy fills in the same order) —
+        so both paths are bit-identical at equal seeds.
+        """
+        cohort = FrameCohort(users, encoder)
+        prob_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+        if self.rate_control:
+            self._paced_pass_cohort(plan, groups, rates, true_state, cohort,
+                                    packet_bytes, budget_s, state, rng,
+                                    prob_cache, faults)
+        else:
+            self._burst_pass_cohort(plan, groups, rates, true_state, cohort,
+                                    packet_bytes, budget_s, state, rng,
+                                    prob_cache, faults)
+
+        rounds = 0
+        for _ in range(max(0, self.max_feedback_rounds)):
+            if state.clock_s + FEEDBACK_LATENCY_S >= budget_s:
+                break
+            state.clock_s += FEEDBACK_LATENCY_S
+            makeup = self._makeup_plan_cohort(encoder, assignments, groups,
+                                              cohort)
+            if not makeup:
+                break
+            rounds += 1
+            self._paced_pass_cohort(makeup, groups, rates, true_state, cohort,
+                                    packet_bytes, budget_s, state, rng,
+                                    prob_cache, faults)
+
+        self._tallies.update_frame(
+            cohort.users, cohort.packets_received, cohort.packets_lost
+        )
+
+        receptions: Dict[int, UserReception] = {
+            u: CohortUserReception(cohort, i)  # type: ignore[misc]
+            for i, u in enumerate(cohort.users)
+        }
+        return TransmissionResult(
+            receptions=receptions,
+            airtime_s=min(state.clock_s, budget_s),
+            packets_sent=state.packets_sent,
+            packets_dropped_at_queue=state.dropped_at_queue,
+            feedback_rounds_used=rounds,
+            cohort=cohort,
         )
 
     # ------------------------------------------------------------------ plan
@@ -340,6 +412,44 @@ class FrameTransmitter:
                 plan.append((assignment.group_index, unit, symbols))
         return plan
 
+    def _makeup_plan_cohort(
+        self,
+        encoder: FrameBlockEncoder,
+        assignments: Sequence[UnitAssignment],
+        groups: Sequence[CandidateGroup],
+        cohort: FrameCohort,
+    ) -> List[Tuple[int, CodingUnitId, list]]:
+        """Retransmission plan read from cohort arrays (no decoders)."""
+        k = encoder.symbols_per_unit()
+        plan = []
+        seen_units = set()
+        for assignment in assignments:
+            unit = CodingUnitId(
+                encoder.frame_index, assignment.layer, assignment.sublayer
+            )
+            key = (assignment.group_index, unit)
+            if key in seen_units:
+                continue
+            seen_units.add(key)
+            group = groups[assignment.group_index]
+            member_rows = cohort.member_rows(group.user_ids)
+            if member_rows.size == 0:
+                continue
+            if self.source_coding:
+                deficit = k - cohort.min_distinct(unit, member_rows)
+                if deficit <= 0:
+                    continue
+                plan.append(
+                    (assignment.group_index, unit, encoder.next_symbols(unit, deficit))
+                )
+            else:
+                missing = cohort.plain_missing(unit, member_rows)
+                if not missing:
+                    continue
+                symbols = [encoder.symbol_at(unit, i) for i in missing]
+                plan.append((assignment.group_index, unit, symbols))
+        return plan
+
     # ------------------------------------------------------------------ passes
 
     def _paced_pass(
@@ -410,6 +520,98 @@ class FrameTransmitter:
             draws = rng.random(len(probs))
             self._deliver(symbol, probs, draws, receptions)
 
+    def _paced_pass_cohort(
+        self, plan, groups, rates, true_state, cohort,
+        packet_bytes, budget_s, state, rng, prob_cache, faults=None,
+    ) -> None:
+        """Paced pass over cohort arrays: one draw block + one boolean
+        compare per plan entry, scalar clock walk for the deadline cut."""
+        last_group = -1
+        for group_index, unit, symbols in plan:
+            if not symbols:
+                continue
+            group = groups[group_index]
+            if group.plan.mcs is None:
+                continue
+            if group_index != last_group:
+                state.clock_s += GROUP_SWITCH_OVERHEAD_S
+                last_group = group_index
+            member_rows, probs = self._cohort_probs(
+                group, true_state, cohort, prob_cache, faults
+            )
+            airtime = packet_bytes / rates[group_index]
+            draws = rng.random((len(symbols), len(probs)))
+            n_send = 0
+            cut = False
+            for _ in symbols:
+                if state.clock_s + airtime > budget_s:
+                    cut = True
+                    break
+                state.clock_s += airtime
+                state.packets_sent += 1
+                n_send += 1
+            if n_send:
+                delivered = draws[:n_send] < probs[None, :]
+                cohort.record(unit, symbols[:n_send], member_rows, delivered)
+            if cut:
+                return
+
+    def _burst_pass_cohort(
+        self, plan, groups, rates, true_state, cohort,
+        packet_bytes, budget_s, state, rng, prob_cache, faults=None,
+    ) -> None:
+        """No rate control, cohort arrays: the queue/clock walk is decided
+        first (it draws no per-member randomness), then delivery draws are
+        batched per contiguous same-group run of sent packets."""
+        queue = self.kernel_queue or KernelQueue()
+        flat = [
+            (group_index, unit, symbol)
+            for group_index, unit, symbols in plan
+            for symbol in symbols
+        ]
+        if not flat:
+            return
+        mean_rate = float(np.mean([rates[g] for g, _, _ in flat]))
+        mask = queue.admitted_mask(
+            len(flat), packet_bytes, mean_rate, budget_s, rng
+        )
+        state.dropped_at_queue += int((~mask).sum())
+        sent: List[Tuple[int, CodingUnitId, object]] = []
+        for (group_index, unit, symbol), admitted in zip(flat, mask):
+            airtime = packet_bytes / rates[group_index]
+            if state.clock_s + airtime > budget_s:
+                break
+            if not admitted:
+                continue
+            if groups[group_index].plan.mcs is None:
+                continue
+            state.clock_s += airtime
+            state.packets_sent += 1
+            sent.append((group_index, unit, symbol))
+        i = 0
+        while i < len(sent):
+            group_index = sent[i][0]
+            j = i
+            while j < len(sent) and sent[j][0] == group_index:
+                j += 1
+            member_rows, probs = self._cohort_probs(
+                groups[group_index], true_state, cohort, prob_cache, faults
+            )
+            draws = rng.random((j - i, len(probs)))
+            a = i
+            while a < j:
+                unit = sent[a][1]
+                b = a
+                while b < j and sent[b][1] == unit:
+                    b += 1
+                delivered = draws[a - i:b - i] < probs[None, :]
+                cohort.record(
+                    unit, [entry[2] for entry in sent[a:b]], member_rows,
+                    delivered,
+                )
+                a = b
+            i = j
+
     # ------------------------------------------------------------------ utils
 
     def _member_probs(
@@ -437,15 +639,45 @@ class FrameTransmitter:
                 probs = {u: p * scale for u, p in probs.items()}
         return probs
 
+    def _cohort_probs(
+        self,
+        group: CandidateGroup,
+        true_state: ChannelState,
+        cohort: FrameCohort,
+        prob_cache: Dict[int, Tuple[np.ndarray, np.ndarray]],
+        faults: Optional["FaultController"] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(member rows, delivery probabilities) for a group, memoized.
+
+        Member order matches :meth:`_member_probs` (group order filtered to
+        cohort membership) so draw columns line up across paths.
+        """
+        cached = prob_cache.get(group.index)
+        if cached is not None:
+            return cached
+        member_ids = [u for u in group.user_ids if u in cohort.index]
+        member_rows = cohort.member_rows(member_ids)
+        link = self.link if faults is None else faults.wrap_link(self.link)
+        probs = link.delivery_probability_array(
+            member_ids, group.plan.beam, true_state, group.plan.mcs
+        )
+        if faults is not None:
+            scale = faults.erasure_scale()
+            if scale < 1.0:
+                probs = probs * scale
+        entry = (member_rows, probs)
+        prob_cache[group.index] = entry
+        return entry
+
     # --------------------------------------------------------- churn state
 
     def user_state(self, user: int) -> Optional[_UserTxState]:
         """Cross-frame delivery tally for ``user`` (None if never served)."""
-        return self._user_states.get(user)
+        return self._tallies.get(user)
 
     def tracked_users(self) -> List[int]:
         """Users the transmitter currently holds per-receiver state for."""
-        return sorted(self._user_states)
+        return self._tallies.tracked()
 
     def evict_user(self, user: int) -> None:
         """Drop per-receiver state when ``user`` leaves the session.
@@ -454,7 +686,7 @@ class FrameTransmitter:
         lifetime of the transmitter (they re-accumulate from scratch on
         rejoin, as after a real re-association).
         """
-        self._user_states.pop(user, None)
+        self._tallies.evict(user)
         if OBS.mode:
             OBS.count("transport.users_evicted")
 

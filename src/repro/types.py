@@ -127,7 +127,6 @@ class FrameStats:
     decode_failures: int = 0
 
 
-@dataclass
 class OutcomeStats:
     """Per-(frame, user) stats accumulator shared by streaming outcomes.
 
@@ -136,39 +135,110 @@ class OutcomeStats:
     queried the same ways; this base class carries the aggregation methods
     so the emulation harness can treat every session outcome uniformly.
 
+    Two ingestion paths feed it: ``outcome.stats.append(...)`` per (frame,
+    user), and :meth:`append_block` with one frame's whole user cohort as
+    arrays.  Blocks are kept columnar and only expanded into
+    :class:`FrameStats` objects when ``stats`` is actually read, so
+    aggregate queries (``mean_ssim`` over a 1,000-user sweep) never build
+    per-user objects at all.
+
     Per-user series are indexed once per stats generation (the index is
     rebuilt lazily whenever ``stats`` has grown) instead of re-sorting the
     full stats list on every :meth:`ssim_series` call.
     """
 
-    stats: List[FrameStats] = field(default_factory=list)
-    _series_index: Optional[Dict[int, List[FrameStats]]] = field(
-        default=None, init=False, repr=False, compare=False
-    )
-    _series_len: int = field(default=-1, init=False, repr=False, compare=False)
+    def __init__(self, stats: Optional[List[FrameStats]] = None) -> None:
+        self._stats: List[FrameStats] = stats if stats is not None else []
+        self._blocks: List[
+            Tuple[int, List[int], np.ndarray, np.ndarray, np.ndarray, bool]
+        ] = []
+        self._series_index: Optional[Dict[int, List[FrameStats]]] = None
+        self._series_len: int = -1
+
+    @property
+    def stats(self) -> List[FrameStats]:
+        """All per-(frame, user) stats, expanding pending cohort blocks."""
+        if self._blocks:
+            self._materialize()
+        return self._stats
+
+    def append_block(
+        self,
+        frame_index: int,
+        user_ids: List[int],
+        ssim: np.ndarray,
+        psnr_db: np.ndarray,
+        bytes_per_layer: np.ndarray,
+        deadline_met: bool,
+    ) -> None:
+        """Append one frame's cohort outcome as arrays (row order = user).
+
+        Equivalent to appending one :class:`FrameStats` per user in
+        ``user_ids`` order, but stored columnar until somebody reads
+        ``stats``.
+        """
+        self._blocks.append(
+            (
+                int(frame_index),
+                list(user_ids),
+                np.asarray(ssim, dtype=np.float64),
+                np.asarray(psnr_db, dtype=np.float64),
+                np.asarray(bytes_per_layer, dtype=np.float64),
+                bool(deadline_met),
+            )
+        )
+
+    def _materialize(self) -> None:
+        for frame_index, user_ids, ssim, psnr, layer_bytes, met in self._blocks:
+            for i, user in enumerate(user_ids):
+                self._stats.append(
+                    FrameStats(
+                        frame_index=frame_index,
+                        user_id=user,
+                        ssim=float(ssim[i]),
+                        psnr_db=float(psnr[i]),
+                        bytes_received_per_layer=tuple(layer_bytes[i]),
+                        deadline_met=met,
+                    )
+                )
+        self._blocks.clear()
+
+    def _ssim_column(self) -> np.ndarray:
+        """Every SSIM sample without materializing pending blocks."""
+        parts = [np.asarray([s.ssim for s in self._stats])] if self._stats else []
+        parts.extend(block[2] for block in self._blocks)
+        if not parts:
+            return np.zeros(0)
+        return np.concatenate(parts)
 
     @property
     def mean_ssim(self) -> float:
-        if not self.stats:
+        column = self._ssim_column()
+        if column.size == 0:
             return float("nan")
-        return float(np.mean([s.ssim for s in self.stats]))
+        return float(np.mean(column))
 
     @property
     def mean_psnr_db(self) -> float:
-        if not self.stats:
+        parts = (
+            [np.asarray([s.psnr_db for s in self._stats])] if self._stats else []
+        )
+        parts.extend(block[3] for block in self._blocks)
+        if not parts:
             return float("nan")
-        return float(np.mean([s.psnr_db for s in self.stats]))
+        return float(np.mean(np.concatenate(parts)))
 
     def _per_user_index(self) -> Dict[int, List[FrameStats]]:
         """Frame-ordered per-user stats, rebuilt only when stats changed."""
-        if self._series_index is None or self._series_len != len(self.stats):
+        stats = self.stats
+        if self._series_index is None or self._series_len != len(stats):
             index: Dict[int, List[FrameStats]] = {}
-            for stat in self.stats:
+            for stat in stats:
                 index.setdefault(stat.user_id, []).append(stat)
             for series in index.values():
                 series.sort(key=lambda s: s.frame_index)
             self._series_index = index
-            self._series_len = len(self.stats)
+            self._series_len = len(stats)
         return self._series_index
 
     def per_user_ssim(self) -> Dict[int, float]:

@@ -32,14 +32,18 @@ def _payload(seed: int, nbytes: int) -> bytes:
     )
 
 
-def _round_trip(block_id, data, symbol_size, symbol_ids) -> bytes:
-    """Encode, deliver exactly ``symbol_ids``, decode."""
+def _round_trip(block_id, data, symbol_size, symbol_ids):
+    """Encode, deliver exactly ``symbol_ids``, decode (None if rank-short).
+
+    A set of exactly ``k`` symbols containing random repair rows is
+    singular with probability ~1/255, so undecodability is a legitimate
+    outcome the caller must compare across paths, not an error.
+    """
     encoder = FountainEncoder(block_id, data, symbol_size)
     decoder = FountainDecoder(block_id, len(data), symbol_size)
     for symbol_id in symbol_ids:
         decoder.add_symbol(encoder.symbol(symbol_id))
-    assert decoder.is_decoded
-    return decoder.decode()
+    return decoder.decode() if decoder.is_decoded else None
 
 
 class TestBatchedEncodeEquivalence:
@@ -104,7 +108,14 @@ class TestRoundTripEquivalence:
         optimized = _round_trip(42, data, symbol_size, ids)
         with perf_mode("seed"):
             reference = _round_trip(42, data, symbol_size, ids)
-        assert optimized == reference == data
+        # Paths must agree on decodability; when decodable, on the bytes.
+        assert optimized == reference
+        if optimized is not None:
+            assert optimized == data
+        else:
+            # Only an exactly-k set with repair rows may legitimately come
+            # up rank-short (singular random submatrix).
+            assert extra == 0 and int(lost.sum()) > 0
 
     @pytest.mark.parametrize(
         "pattern", ["systematic_only", "repair_only", "exactly_k", "k_plus_h"]

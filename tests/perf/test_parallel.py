@@ -109,7 +109,9 @@ class TestParallelMap:
 
     def test_worker_exception_surfaces_message_and_traceback(self):
         with pytest.raises(ParallelWorkerError) as excinfo:
-            parallel_map(_fail_on_three, [1, 2, 3, 4], jobs=2)
+            # break_even_s=0.0 forces the pool; trivial items would
+            # otherwise fall back to the serial path and raise bare.
+            parallel_map(_fail_on_three, [1, 2, 3, 4], jobs=2, break_even_s=0.0)
         message = str(excinfo.value)
         # The original exception type and message survive the pool boundary…
         assert "ValueError" in message
@@ -132,6 +134,44 @@ class TestParallelMap:
             _read_state, [0, 0, 0], jobs=2, initializer=_set_state, initargs=(9,)
         )
         assert result == [9, 9, 9]
+
+
+class TestBreakEvenFallback:
+    """Sub-break-even jobs never pay for a process pool (ROADMAP item 4)."""
+
+    def test_trivial_items_skip_the_pool(self, monkeypatch):
+        def no_pool(*args, **kwargs):
+            raise AssertionError("pool should not be created below break-even")
+
+        monkeypatch.setattr(
+            "repro.perf.parallel.ProcessPoolExecutor", no_pool
+        )
+        items = list(range(50))
+        assert parallel_map(_square, items, jobs=4) == [x * x for x in items]
+
+    def test_fallback_still_runs_initializer(self, monkeypatch):
+        def no_pool(*args, **kwargs):
+            raise AssertionError("pool should not be created below break-even")
+
+        monkeypatch.setattr(
+            "repro.perf.parallel.ProcessPoolExecutor", no_pool
+        )
+        _INIT_STATE["value"] = None
+        result = parallel_map(
+            _read_state, [0, 0, 0], jobs=2, initializer=_set_state, initargs=(4,)
+        )
+        assert result == [4, 4, 4]
+
+    def test_probe_exception_propagates_unchanged(self):
+        # The probed first item runs in-process, so its exception arrives
+        # bare even at jobs > 1.
+        with pytest.raises(ValueError, match="three"):
+            parallel_map(_fail_on_three, [3, 1, 2], jobs=2)
+
+    def test_zero_break_even_forces_pool(self):
+        items = list(range(6))
+        result = parallel_map(_square, items, jobs=2, break_even_s=0.0)
+        assert result == [x * x for x in items]
 
 
 class TestTiming:

@@ -104,3 +104,46 @@ class TestEnumeration:
         scenario, _ = snapshot
         with pytest.raises(SchedulingError):
             _enumerator(scenario, BeamformingScheme.OPTIMIZED_UNICAST, rate_scale=0)
+
+
+class TestMaxGroupSize:
+    def test_cap_limits_exhaustive_subsets(self, snapshot):
+        scenario, state = snapshot
+        enum = _enumerator(
+            scenario, BeamformingScheme.OPTIMIZED_MULTICAST,
+            min_rate_mbps=0.0, max_group_size=2,
+        )
+        groups = enum.enumerate(state, [0, 1, 2])
+        assert all(len(g.user_ids) <= 2 for g in groups)
+        # Pairs are still enumerated, only the triple is gone.
+        assert any(len(g.user_ids) == 2 for g in groups)
+
+    def test_cap_limits_azimuth_windows(self, snapshot):
+        scenario, state = snapshot
+        enum = _enumerator(
+            scenario, BeamformingScheme.OPTIMIZED_MULTICAST,
+            min_rate_mbps=0.0, exhaustive_max_users=2, max_group_size=2,
+        )
+        groups = enum.enumerate(state, [0, 1, 2])
+        assert all(len(g.user_ids) <= 2 for g in groups)
+
+    def test_none_is_unbounded(self, snapshot):
+        scenario, state = snapshot
+        capped = _enumerator(
+            scenario, BeamformingScheme.OPTIMIZED_MULTICAST,
+            min_rate_mbps=0.0, max_group_size=3,
+        )
+        unbounded = _enumerator(
+            scenario, BeamformingScheme.OPTIMIZED_MULTICAST,
+            min_rate_mbps=0.0, max_group_size=None,
+        )
+        sets_capped = {g.user_ids for g in capped.enumerate(state, [0, 1, 2])}
+        sets_unbounded = {g.user_ids for g in unbounded.enumerate(state, [0, 1, 2])}
+        assert sets_capped == sets_unbounded
+
+    def test_bad_cap_rejected(self, snapshot):
+        scenario, _ = snapshot
+        with pytest.raises(SchedulingError):
+            _enumerator(
+                scenario, BeamformingScheme.OPTIMIZED_MULTICAST, max_group_size=1
+            )

@@ -24,6 +24,11 @@ def _report(scale: float = 1.0, **overrides) -> dict:
             "metrics_identical": True,
             "decoded_frames_identical": True,
         },
+        "emulation_scale": {
+            "speedup_at_100_users": 15.0 * scale,
+            "optimized_runs_per_s_at_100_users": 2.0 * scale,
+            "metrics_identical": True,
+        },
     }
     for dotted, value in overrides.items():
         stage, key = dotted.split(".")
@@ -68,6 +73,33 @@ class TestCompare:
         result = perf_gate.compare(_report(), candidate)
         assert not result["passed"]
         assert any(not f["ok"] for f in result["flags"])
+
+    def test_scale_identity_flag_failure_fails_gate(self):
+        candidate = _report(**{"emulation_scale.metrics_identical": False})
+        result = perf_gate.compare(_report(), candidate)
+        assert not result["passed"]
+
+    def test_scale_speedup_regression_fails_gate(self):
+        candidate = _report(**{"emulation_scale.speedup_at_100_users": 5.0})
+        result = perf_gate.compare(_report(), candidate)
+        assert not result["passed"]
+        (bad,) = [r for r in result["metrics"] if not r["ok"]]
+        assert bad["metric"] == "emulation_scale.speedup_at_100_users"
+
+    def test_parallel_slower_than_serial_fails_gate(self):
+        candidate = _report(**{"jigsaw_encode.fps_parallel": 400.0})
+        result = perf_gate.compare(_report(), candidate)
+        assert not result["passed"]
+        (flag,) = [
+            f for f in result["flags"]
+            if f["flag"] == "jigsaw_encode.parallel_not_slower"
+        ]
+        assert not flag["ok"]
+
+    def test_parallel_at_least_serial_passes_gate(self):
+        candidate = _report(**{"jigsaw_encode.fps_parallel": 1100.0})
+        result = perf_gate.compare(_report(), candidate)
+        assert result["passed"]
 
 
 class TestCli:

@@ -47,3 +47,44 @@ class TestKernelQueue:
         a = queue.admitted_mask(500, 1500, 1e5, 0.033, np.random.default_rng(1))
         b = queue.admitted_mask(500, 1500, 1e5, 0.033, np.random.default_rng(1))
         np.testing.assert_array_equal(a, b)
+
+
+class TestArrayPacketSizes:
+    """admitted_mask accepts per-packet size arrays (cohort fast path)."""
+
+    def test_mask_dtype_and_shape(self, rng):
+        queue = KernelQueue(capacity_packets=10)
+        sizes = np.full(100, 1500.0)
+        mask = queue.admitted_mask(100, sizes, 1e5, 0.033, rng)
+        assert mask.dtype == np.bool_
+        assert mask.shape == (100,)
+
+    def test_uniform_array_matches_scalar(self):
+        queue = KernelQueue(capacity_packets=10)
+        scalar = queue.admitted_mask(
+            1000, 1500, 1e5, 0.033, np.random.default_rng(3)
+        )
+        array = queue.admitted_mask(
+            1000, np.full(1000, 1500.0), 1e5, 0.033, np.random.default_rng(3)
+        )
+        assert scalar.sum() == array.sum()
+
+    def test_nonuniform_sizes_drain_cumulatively(self, rng):
+        # Budget drains 0.5 * 0.033 * 1e5 = 1650 bytes: three 500 B packets
+        # fit, a fourth does not.
+        queue = KernelQueue(capacity_packets=1)
+        sizes = np.full(10, 500.0)
+        mask = queue.admitted_mask(10, sizes, 1e5, 0.033, rng)
+        assert mask.sum() == 1 + 3
+
+    def test_wrong_shape_rejected(self, rng):
+        queue = KernelQueue()
+        with pytest.raises(TransportError):
+            queue.admitted_mask(10, np.ones(5), 1e6, 0.03, rng)
+
+    def test_integer_dtype_accepted(self, rng):
+        queue = KernelQueue(capacity_packets=100)
+        mask = queue.admitted_mask(
+            50, np.full(50, 1000, dtype=np.int64), 1e6, 0.033, rng
+        )
+        assert mask.dtype == np.bool_ and mask.all()

@@ -1,5 +1,6 @@
 """Tests for the leaky-bucket pacer."""
 
+import numpy as np
 import pytest
 
 from repro.errors import TransportError
@@ -69,3 +70,65 @@ class TestLeakyBucket:
             LeakyBucket(100, 0)
         with pytest.raises(TransportError):
             LeakyBucket(100, 10).set_rate(0)
+
+
+class TestBurstCreditMath:
+    """Vectorized FIFO credit operations (cohort fast path)."""
+
+    def test_mask_dtype_and_shape(self):
+        bucket = LeakyBucket(1000, 500)
+        mask = bucket.try_send_burst(np.full(10, 100.0), 0.0)
+        assert mask.dtype == np.bool_
+        assert mask.shape == (10,)
+
+    def test_prefix_admission_consumes_credit(self):
+        bucket = LeakyBucket(1000, 500)
+        mask = bucket.try_send_burst(np.full(10, 100.0), 0.0)
+        # 500 B of credit admits exactly the first five 100 B packets.
+        np.testing.assert_array_equal(mask, np.arange(10) < 5)
+        assert bucket.credit_bytes == pytest.approx(0.0)
+
+    def test_head_of_line_blocking(self):
+        # A too-big packet at the head blocks smaller ones behind it.
+        bucket = LeakyBucket(1000, 100)
+        mask = bucket.try_send_burst(np.array([150.0, 10.0, 10.0]), 0.0)
+        assert not mask.any()
+        assert bucket.credit_bytes == pytest.approx(100.0)
+
+    def test_burst_matches_scalar_loop_for_uniform_sizes(self):
+        batched = LeakyBucket(1000, 500)
+        scalar = LeakyBucket(1000, 500)
+        sizes = np.full(8, 90.0)
+        mask = batched.try_send_burst(sizes, 0.0)
+        reference = [scalar.try_send(90.0, 0.0) for _ in range(8)]
+        np.testing.assert_array_equal(mask, reference)
+        assert batched.credit_bytes == pytest.approx(scalar.credit_bytes)
+
+    def test_refills_before_admitting(self):
+        bucket = LeakyBucket(1000, 100, initial_credit_bytes=0)
+        assert not bucket.try_send_burst(np.array([50.0]), 0.0).any()
+        assert bucket.try_send_burst(np.array([50.0]), 0.05).all()
+
+    def test_time_until_send_burst_cumulative(self):
+        bucket = LeakyBucket(1000, 100, initial_credit_bytes=0)
+        times = bucket.time_until_send_burst(np.array([50.0, 50.0, 50.0]), 0.0)
+        assert times.dtype == np.float64
+        np.testing.assert_allclose(times, [0.05, 0.10, 0.15])
+
+    def test_time_until_send_burst_zero_when_credit_covers(self):
+        bucket = LeakyBucket(1000, 500)
+        times = bucket.time_until_send_burst(np.array([100.0, 100.0]), 0.0)
+        np.testing.assert_array_equal(times, [0.0, 0.0])
+
+    def test_empty_burst(self):
+        bucket = LeakyBucket(1000, 100)
+        assert bucket.try_send_burst(np.zeros(0), 0.0).size == 0
+
+    def test_bad_burst_inputs_rejected(self):
+        bucket = LeakyBucket(1000, 100)
+        with pytest.raises(TransportError):
+            bucket.try_send_burst(np.ones((2, 2)), 0.0)
+        with pytest.raises(TransportError):
+            bucket.try_send_burst(np.array([10.0, -1.0]), 0.0)
+        with pytest.raises(TransportError):
+            bucket.time_until_send_burst(np.ones((3, 1)), 0.0)
