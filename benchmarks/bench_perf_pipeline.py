@@ -39,6 +39,7 @@ if str(REPO_ROOT / "benchmarks") not in sys.path:
 import numpy as np
 
 from bench_scale_users import USER_COUNTS_FULL, USER_COUNTS_QUICK, bench_emulation_scale
+from bench_sweep_shard import bench_sweep_shard
 
 from repro.emulation import build_context, run_scheduler_comparison
 from repro.fountain.block import (
@@ -309,23 +310,31 @@ def main(argv=None) -> int:
         jig_frames, repair, blocks, ssim_repeats = 24, 2000, 200, 60
     structure = LayerStructure(height=height, width=width)
 
-    print(f"[1/7] jigsaw encode ({height}x{width}, {jig_frames} frames)")
+    print(f"[1/8] jigsaw encode ({height}x{width}, {jig_frames} frames)")
     jigsaw = bench_jigsaw_encode(height, width, jig_frames, jobs)
-    print(f"[2/7] fountain encode ({repair} repair symbols)")
+    print(f"[2/8] fountain encode ({repair} repair symbols)")
     fountain_encode = bench_fountain_encode(structure, repair)
-    print(f"[3/7] fountain decode ({blocks} blocks)")
+    print(f"[3/8] fountain decode ({blocks} blocks)")
     fountain_decode = bench_fountain_decode(structure, blocks)
-    print(f"[4/7] ssim ({ssim_repeats} frames)")
+    print(f"[4/8] ssim ({ssim_repeats} frames)")
     ssim_stage = bench_ssim(height, width, ssim_repeats)
-    print("[5/7] decoded-frame byte identity (seed vs optimized codec)")
+    print("[5/8] decoded-frame byte identity (seed vs optimized codec)")
     frames_identical = check_decoded_frames_identical(structure)
-    print(f"[6/7] emulation ({runs}-run scheduler comparison, jobs={jobs})")
+    print(f"[6/8] emulation ({runs}-run scheduler comparison, jobs={jobs})")
     emulation = bench_emulation(args.quick, runs, frames, users=4, jobs=jobs)
     emulation["decoded_frames_identical"] = frames_identical
     scale_counts = USER_COUNTS_QUICK if args.quick else USER_COUNTS_FULL
-    print(f"[7/7] emulation scale (cohort sweep to {scale_counts[-1]} users)")
+    print(f"[7/8] emulation scale (cohort sweep to {scale_counts[-1]} users)")
     emulation_scale = bench_emulation_scale(
         _context(args.quick), scale_counts, frames
+    )
+    sweep_runs = 8 if args.quick else 12
+    sweep_frames = 2 if args.quick else 3
+    print(f"[8/8] sharded sweep ({sweep_runs} runs on persistent pool, "
+          f"jobs={min(jobs, 2)})")
+    sweep_shard = bench_sweep_shard(
+        _context(args.quick), sweep_runs, sweep_frames,
+        shards=sweep_runs, jobs=min(jobs, 2),
     )
 
     report = {
@@ -345,14 +354,18 @@ def main(argv=None) -> int:
             "ssim": ssim_stage,
             "emulation": emulation,
             "emulation_scale": emulation_scale,
+            "sweep_shard": sweep_shard,
         },
         "acceptance": {
             "fountain_repair_encode_speedup": fountain_encode["speedup_vs_seed"],
             "emulation_speedup_vs_seed_serial": emulation["speedup_vs_seed_serial"],
             "emulation_scale_speedup_at_100_users":
                 emulation_scale["speedup_at_100_users"],
+            "sweep_shard_persistent_vs_fork":
+                sweep_shard["persistent_vs_fork_ratio"],
             "metrics_identical": emulation["metrics_identical"],
             "scale_metrics_identical": emulation_scale["metrics_identical"],
+            "sweep_merged_identical": sweep_shard["merged_identical"],
             "decoded_frames_identical": frames_identical,
         },
     }
@@ -380,13 +393,19 @@ def main(argv=None) -> int:
           f"at {emulation_scale['pivot_users']} users, "
           f"{emulation_scale['max_users']} users in "
           f"{emulation_scale['run_s_at_max_users']:.2f} s")
+    print(f"sharded sweep        : {sweep_shard['points_per_s_persistent']:8.2f} "
+          f"points/s persistent "
+          f"(x{sweep_shard['persistent_vs_fork_ratio']:.2f} vs fork, "
+          f"{sweep_shard['parallel_efficiency']:.2f} efficiency)")
     print(f"metrics identical    : {emulation['metrics_identical']}"
-          f" (scale: {emulation_scale['metrics_identical']})")
+          f" (scale: {emulation_scale['metrics_identical']}, "
+          f"sweep: {sweep_shard['merged_identical']})")
     print(f"frames identical     : {frames_identical}")
     print(f"report               : {path}")
 
     ok = (emulation["metrics_identical"] and frames_identical
-          and emulation_scale["metrics_identical"])
+          and emulation_scale["metrics_identical"]
+          and sweep_shard["merged_identical"])
     return 0 if ok else 1
 
 

@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Sharded sweep scheduler benchmark: persistent pool vs fork-per-call.
+
+Times the same variant-sweep campaign three ways — serial in-process,
+``run_variant_sweep`` with a fork-per-campaign process pool (the pre-shard
+parallel path, which re-pickles the experiment context into every pool),
+and ``run_sharded_sweep`` on the persistent shared-memory worker pool —
+and reports campaign points/s for each, the parallel efficiency of the
+persistent arm, and the persistent-vs-fork ratio the perf gate defends
+(``sweep_shard.persistent_not_slower_than_fork``).
+
+All three arms must produce bit-identical merged results
+(``merged_identical``); the scheduler's per-run seeding makes the shard
+count, worker count, and completion order irrelevant to the output.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_shard.py           # full
+    PYTHONPATH=src python benchmarks/bench_sweep_shard.py --quick   # CI smoke
+
+The stage dict is embedded as ``sweep_shard`` in ``BENCH_PERF.json`` by
+``bench_perf_pipeline.py``; standalone runs write ``bench_sweep_shard.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.emulation import ExperimentContext, build_context, run_sharded_sweep
+from repro.emulation.sweep import run_variant_sweep, variant_from_spec
+from repro.perf import speedup, throughput, time_call, write_bench_report
+
+PLACEMENT = ("arc", 5.0, 60)
+
+#: Two-variant campaign: the paper's default pipeline vs round-robin
+#: scheduling — cheap enough for CI, distinct enough that a merge bug
+#: (crossed variants, reordered runs) cannot cancel out.
+VARIANT_SPECS = ("base", "rr:scheduler=round_robin")
+
+
+def bench_sweep_shard(
+    ctx: ExperimentContext,
+    runs: int,
+    frames: int,
+    shards: int,
+    jobs: int,
+    users: int = 2,
+    checkpoint_dir: Path | None = None,
+) -> dict:
+    """Time serial / fork-per-call / persistent-pool arms of one campaign."""
+    variants = [variant_from_spec(spec) for spec in VARIANT_SPECS]
+    points = runs * len(variants)
+
+    serial_results, serial_s = time_call(
+        lambda: run_variant_sweep(
+            ctx, variants, users, PLACEMENT, runs=runs, frames=frames, jobs=1
+        )
+    )
+    fork_results, fork_s = time_call(
+        lambda: run_variant_sweep(
+            ctx, variants, users, PLACEMENT, runs=runs, frames=frames, jobs=jobs
+        )
+    )
+
+    def persistent_arm() -> dict:
+        with tempfile.TemporaryDirectory(dir=checkpoint_dir) as tmp:
+            return run_sharded_sweep(
+                ctx, variants, users, PLACEMENT, runs=runs, frames=frames,
+                shards=shards, checkpoint=Path(tmp) / "ck.jsonl", jobs=jobs,
+            )
+
+    persistent_results, persistent_s = time_call(persistent_arm)
+
+    return {
+        "runs": runs,
+        "frames": frames,
+        "users": users,
+        "shards": shards,
+        "jobs": jobs,
+        "points": points,
+        "resolution": f"{ctx.height}x{ctx.width}",
+        "serial_wall_s": serial_s,
+        "fork_wall_s": fork_s,
+        "persistent_wall_s": persistent_s,
+        "points_per_s_serial": throughput(points, serial_s),
+        "points_per_s_fork": throughput(points, fork_s),
+        "points_per_s_persistent": throughput(points, persistent_s),
+        "speedup_vs_serial": speedup(serial_s, persistent_s),
+        "parallel_efficiency": speedup(serial_s, persistent_s) / jobs,
+        "persistent_vs_fork_ratio": speedup(fork_s, persistent_s),
+        "merged_identical": (
+            serial_results == fork_results == persistent_results
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small sizes for CI smoke runs (~a minute)",
+    )
+    parser.add_argument("--runs", type=int, default=None,
+                        help="campaign runs (default 12, quick 8)")
+    parser.add_argument("--frames", type=int, default=None,
+                        help="frames per run (default 3, quick 2)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="shard count (default = runs)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker count for the parallel arms (default 2)")
+    parser.add_argument(
+        "--output", type=Path,
+        default=REPO_ROOT / "bench_sweep_shard.json",
+        help="report path (default: bench_sweep_shard.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    runs = args.runs or (8 if args.quick else 12)
+    frames = args.frames or (2 if args.quick else 3)
+    shards = args.shards or runs
+    if args.quick:
+        ctx = build_context(height=144, width=256, dnn_epochs=60, probe_frames=2)
+    else:
+        ctx = build_context()
+
+    print(
+        f"sweep shard bench: {runs} runs x {len(VARIANT_SPECS)} variants, "
+        f"{shards} shards, jobs={args.jobs}"
+    )
+    stage = bench_sweep_shard(ctx, runs, frames, shards, args.jobs)
+    path = write_bench_report(args.output, {"schema": 1, "sweep_shard": stage})
+
+    print(f"serial      : {stage['serial_wall_s']:8.2f} s "
+          f"({stage['points_per_s_serial']:.3f} points/s)")
+    print(f"fork        : {stage['fork_wall_s']:8.2f} s "
+          f"({stage['points_per_s_fork']:.3f} points/s)")
+    print(f"persistent  : {stage['persistent_wall_s']:8.2f} s "
+          f"({stage['points_per_s_persistent']:.3f} points/s, "
+          f"x{stage['speedup_vs_serial']:.2f} vs serial, "
+          f"{stage['parallel_efficiency']:.2f} efficiency)")
+    print(f"vs fork     : x{stage['persistent_vs_fork_ratio']:.2f}")
+    print(f"identical   : {stage['merged_identical']}")
+    print(f"report      : {path}")
+    return 0 if stage["merged_identical"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

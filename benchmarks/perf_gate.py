@@ -37,6 +37,7 @@ GATED_METRICS = (
     ("emulation", "optimized_runs_per_s"),
     ("emulation_scale", "speedup_at_100_users"),
     ("emulation_scale", "optimized_runs_per_s_at_100_users"),
+    ("sweep_shard", "points_per_s_persistent"),
 )
 
 #: Correctness booleans that must hold in the candidate regardless of speed.
@@ -44,6 +45,7 @@ REQUIRED_FLAGS = (
     ("emulation", "metrics_identical"),
     ("emulation", "decoded_frames_identical"),
     ("emulation_scale", "metrics_identical"),
+    ("sweep_shard", "merged_identical"),
 )
 
 DEFAULT_TOLERANCE = 0.30
@@ -123,6 +125,19 @@ def compare(
             "flag": "jigsaw_encode.parallel_not_slower",
             "value": round(ratio, 3),
             "ok": ratio >= floor,
+        })
+
+    # The persistent worker pool must never lose to the fork-per-campaign
+    # pool it replaces — its whole point is amortizing worker startup and
+    # context shipping.  Same noise tolerance as the throughput metrics.
+    sweep = cand_stages.get("sweep_shard", {})
+    pool_ratio = sweep.get("persistent_vs_fork_ratio")
+    if pool_ratio is not None:
+        pool_ratio = float(pool_ratio)
+        flags.append({
+            "flag": "sweep_shard.persistent_not_slower_than_fork",
+            "value": round(pool_ratio, 3),
+            "ok": pool_ratio >= floor,
         })
 
     passed = all(r["ok"] for r in rows) and all(f["ok"] for f in flags)

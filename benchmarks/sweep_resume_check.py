@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""CI kill/resume determinism check for the sharded sweep scheduler.
+
+Proves the resumable-checkpoint contract end to end, through the real CLI:
+
+1. Run a small sharded campaign uninterrupted → the *reference* results.
+2. Run the identical campaign as a subprocess, poll its checkpoint, and
+   SIGKILL the process after at least one shard has been committed but
+   before the campaign finishes — simulating a pre-empted CI runner or a
+   power cut mid-``fsync``.
+3. Re-run with ``--resume`` against the survivor checkpoint.
+4. The resumed merged results must be **bit-identical** to the reference
+   (all floats serialized via ``float.hex()``), and the resumed run must
+   have re-executed only the missing shards.
+
+Exit code 0 on success; non-zero with a diagnostic on any divergence.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/sweep_resume_check.py --workdir /tmp/x
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The campaign under test — small enough for a CI smoke job, sharded
+#: finely enough (one run per shard) that a mid-campaign kill always
+#: leaves both committed and missing shards behind.
+CAMPAIGN = [
+    "--quick-context",
+    "--users", "2",
+    "--runs", "6",
+    "--frames", "2",
+    "--variant", "base",
+    "--variant", "rr:scheduler=round_robin",
+    "--shards", "6",
+    "--jobs", "2",
+]
+
+
+def _cli(extra: list, env: dict) -> subprocess.Popen:
+    cmd = [sys.executable, "-m", "repro.cli", "sweep", *CAMPAIGN, *extra]
+    return subprocess.Popen(
+        cmd, env=env, cwd=REPO_ROOT,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+def _shard_lines(checkpoint: Path) -> int:
+    """Complete (newline-terminated) shard records committed so far."""
+    if not checkpoint.exists():
+        return 0
+    count = 0
+    with open(checkpoint, "rb") as fh:
+        for raw in fh:
+            if not raw.endswith(b"\n"):
+                break  # in-flight append; not committed
+            try:
+                if json.loads(raw).get("kind") == "shard":
+                    count += 1
+            except json.JSONDecodeError:
+                break
+    return count
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--workdir", type=Path, default=Path("sweep_resume_work"),
+        help="scratch directory for checkpoints and result JSONs",
+    )
+    parser.add_argument(
+        "--kill-after-shards", type=int, default=2,
+        help="SIGKILL the victim once this many shards are committed",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="overall per-phase timeout in seconds",
+    )
+    args = parser.parse_args(argv)
+
+    work = args.workdir
+    work.mkdir(parents=True, exist_ok=True)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+
+    ref_json = work / "reference.json"
+    resumed_json = work / "resumed.json"
+    victim_ck = work / "victim.jsonl"
+
+    print("[1/4] uninterrupted reference campaign")
+    proc = _cli(
+        ["--checkpoint", str(work / "reference.jsonl"),
+         "--result-json", str(ref_json)],
+        env,
+    )
+    out, _ = proc.communicate(timeout=args.timeout)
+    if proc.returncode != 0:
+        print(out)
+        print(f"FAIL: reference campaign exited {proc.returncode}")
+        return 1
+
+    print(f"[2/4] victim campaign, SIGKILL after "
+          f"{args.kill_after_shards} committed shards")
+    victim = _cli(["--checkpoint", str(victim_ck)], env)
+    deadline = time.monotonic() + args.timeout
+    killed = False
+    while time.monotonic() < deadline:
+        done = _shard_lines(victim_ck)
+        if done >= args.kill_after_shards:
+            victim.send_signal(signal.SIGKILL)
+            killed = True
+            break
+        if victim.poll() is not None:
+            break  # finished before we could kill it
+        time.sleep(0.05)
+    victim.wait(timeout=args.timeout)
+    committed = _shard_lines(victim_ck)
+    if not killed:
+        print("FAIL: victim finished before any kill window opened — "
+              "grow the campaign or lower --kill-after-shards")
+        return 1
+    if committed >= 6:
+        print("FAIL: all shards committed before the kill landed")
+        return 1
+    print(f"      killed with {committed}/6 shards committed")
+
+    print("[3/4] resume from the survivor checkpoint")
+    proc = _cli(
+        ["--checkpoint", str(victim_ck), "--resume",
+         "--result-json", str(resumed_json)],
+        env,
+    )
+    out, _ = proc.communicate(timeout=args.timeout)
+    if proc.returncode != 0:
+        print(out)
+        print(f"FAIL: resume exited {proc.returncode}")
+        return 1
+
+    print("[4/4] diff resumed results vs uninterrupted reference")
+    reference = json.loads(ref_json.read_text())
+    resumed = json.loads(resumed_json.read_text())
+    if reference != resumed:
+        print("FAIL: resumed merged results differ from the reference")
+        for name in sorted(set(reference["results"]) | set(resumed["results"])):
+            if reference["results"].get(name) != resumed["results"].get(name):
+                print(f"  divergent variant: {name}")
+        return 1
+    print(f"PASS: bit-identical results after SIGKILL at "
+          f"{committed}/6 shards (spec {reference.get('spec_hash', '?')[:12]})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,8 @@ Examples::
     repro-wigig ablation --axis source_coding --users 3
     repro-wigig mobile --users 3 --moving 0 1 --regime low --duration 4
     repro-wigig sweep --variant base --variant rr:scheduler=round_robin
+    repro-wigig sweep --variant base --variant rr:scheduler=round_robin \\
+        --runs 40 --shards 8 --jobs 4 --checkpoint campaign.jsonl --resume
     repro-wigig quality-model --epochs 500
     repro-wigig observe --users 3 --frames 6 --trace obs_trace.jsonl
     repro-wigig chaos --users 3 --frames 9 \\
@@ -107,13 +109,56 @@ def _cmd_mobile(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    """Ad-hoc variant sweep: any SystemConfig axis straight from the shell."""
-    ctx = build_context(seed=args.seed)
+    """Ad-hoc variant sweep: any SystemConfig axis straight from the shell.
+
+    ``--shards`` switches to the sharded scheduler: the campaign splits
+    into individually-seeded shards executed on a persistent worker pool,
+    each appended to the ``--checkpoint`` JSONL as it completes.  A killed
+    run restarted with ``--resume`` re-runs only the missing shards and
+    merges to a bit-identical result.
+    """
+    from .emulation import run_sharded_sweep, write_results_json
+    from .emulation.shard import CampaignSpec
+
+    if args.shards is not None and args.checkpoint is None:
+        print("--shards requires --checkpoint PATH")
+        return 2
+    if args.resume and args.shards is None:
+        print("--resume requires --shards")
+        return 2
+    if args.quick_context:
+        ctx = build_context(
+            height=144, width=256, dnn_epochs=60, probe_frames=2,
+            seed=args.seed,
+        )
+    else:
+        ctx = build_context(seed=args.seed)
     variants = [variant_from_spec(spec) for spec in args.variant]
-    results = run_variant_sweep(
-        ctx, variants, args.users, _placement(args),
-        runs=args.runs, frames=args.frames,
-    )
+    spec = None
+    if args.shards is not None:
+        spec = CampaignSpec(
+            variants=tuple(variants),
+            num_users=args.users,
+            placement=_placement(args),
+            runs=args.runs,
+            frames=args.frames,
+            shards=args.shards,
+        )
+        results = run_sharded_sweep(
+            ctx, variants, args.users, _placement(args),
+            runs=args.runs, frames=args.frames,
+            shards=args.shards, checkpoint=args.checkpoint,
+            resume=args.resume, jobs=args.jobs,
+            task_timeout_s=args.task_timeout,
+        )
+    else:
+        results = run_variant_sweep(
+            ctx, variants, args.users, _placement(args),
+            runs=args.runs, frames=args.frames, jobs=args.jobs,
+        )
+    if args.result_json is not None:
+        path = write_results_json(args.result_json, results, spec)
+        print(f"results written     : {path}")
     print_table(
         f"Variant sweep ({args.users} users)",
         summarize({k: v["ssim"] for k, v in results.items()}),
@@ -323,6 +368,36 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME[:FIELD=VALUE,...]",
         help="one comparison arm, e.g. rr:scheduler=round_robin "
              "(repeat for more arms)",
+    )
+    p.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="split the campaign into N checkpointable shards on a "
+             "persistent worker pool (requires --checkpoint)",
+    )
+    p.add_argument(
+        "--checkpoint", type=Path, default=None, metavar="PATH",
+        help="JSONL checkpoint the sharded campaign appends to",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="load finished shards from --checkpoint and run only the rest",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS or 1)",
+    )
+    p.add_argument(
+        "--task-timeout", type=float, default=600.0, metavar="SECONDS",
+        help="per-shard deadline before a worker counts as hung "
+             "(default: 600)",
+    )
+    p.add_argument(
+        "--result-json", type=Path, default=None, metavar="PATH",
+        help="dump merged results as hex-float JSON for bit-exact diffing",
+    )
+    p.add_argument(
+        "--quick-context", action="store_true",
+        help="small low-res experiment context (CI-sized campaigns)",
     )
     p.set_defaults(func=_cmd_sweep)
 

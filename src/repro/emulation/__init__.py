@@ -20,6 +20,16 @@ from .sweep import (
     run_variant_sweep,
     variant_from_spec,
 )
+from .shard import (
+    CampaignSpec,
+    CheckpointError,
+    load_checkpoint,
+    merge_shards,
+    merged_to_jsonable,
+    plan_shards,
+    run_sharded_sweep,
+    write_results_json,
+)
 from .runner import (
     MOBILE_APPROACHES,
     run_ablation,
@@ -46,6 +56,14 @@ __all__ = [
     "merge_runs",
     "run_variant_sweep",
     "run_session_sweep",
+    "CampaignSpec",
+    "CheckpointError",
+    "load_checkpoint",
+    "merge_shards",
+    "merged_to_jsonable",
+    "plan_shards",
+    "run_sharded_sweep",
+    "write_results_json",
     "MOBILE_APPROACHES",
     "run_beamforming_comparison",
     "run_scheduler_comparison",

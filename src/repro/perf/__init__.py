@@ -10,6 +10,10 @@ without changing results:
   batched ones inside one process.
 * :mod:`repro.perf.timing` — stopwatch/throughput helpers plus the
   ``BENCH_PERF.json`` report writer.
+* :mod:`repro.perf.workers` — the persistent worker pool + shared-memory
+  payload shipping that sharded sweep campaigns run on (workers started
+  once per campaign, heavyweight state shipped via
+  ``multiprocessing.shared_memory`` instead of per-task pickling).
 * :mod:`repro.perf.encode` — per-frame jigsaw encode fan-out (imported
   lazily by callers; not re-exported here to keep import cycles impossible
   from the fountain layer).
@@ -26,8 +30,16 @@ from .mode import (
 from .parallel import (
     JOBS_ENV_VAR,
     POOL_BREAK_EVEN_S,
+    PROBE_WARMUP_FACTOR,
     effective_jobs,
     parallel_map,
+)
+from .workers import (
+    DEFAULT_HEARTBEAT_S,
+    DEFAULT_TASK_TIMEOUT_S,
+    PersistentPool,
+    SharedPayload,
+    SharedPayloadHandle,
 )
 from .timing import (
     Stopwatch,
@@ -49,7 +61,13 @@ __all__ = [
     "JOBS_ENV_VAR",
     "effective_jobs",
     "POOL_BREAK_EVEN_S",
+    "PROBE_WARMUP_FACTOR",
     "parallel_map",
+    "DEFAULT_HEARTBEAT_S",
+    "DEFAULT_TASK_TIMEOUT_S",
+    "PersistentPool",
+    "SharedPayload",
+    "SharedPayloadHandle",
     "Stopwatch",
     "read_bench_report",
     "speedup",

@@ -20,10 +20,12 @@ same worker functions run unchanged at any job count.
 Forking a pool costs tens of milliseconds per worker before the first task
 runs, so small jobs lose to a plain loop (the jigsaw-encode benchmark
 measured a 4.4x slowdown at 24 frames on a busy runner).  ``parallel_map``
-therefore *probes*: it runs the first item in-process, extrapolates the
-serial cost of the rest, and only spins up the pool when that estimate
-clears :data:`POOL_BREAK_EVEN_S`.  Pass ``break_even_s=0.0`` to force the
-pool regardless (e.g. when the first item is unrepresentative).
+therefore *probes*: it runs the first item in-process, discounts the
+one-off warmup baked into a first call (:data:`PROBE_WARMUP_FACTOR`),
+extrapolates the serial cost of the rest, and only spins up the pool when
+that estimate clears :data:`POOL_BREAK_EVEN_S`.  Pass ``break_even_s=0.0``
+to force the pool regardless (e.g. when the first item is
+unrepresentative).
 """
 
 from __future__ import annotations
@@ -46,6 +48,15 @@ JOBS_ENV_VAR = "REPRO_JOBS"
 #: pickling runs ~50-100 ms per worker on shared CI runners; half a second
 #: of real work is comfortably past break-even at any job count.
 POOL_BREAK_EVEN_S = 0.5
+
+#: Discount applied to the probed first-item time before extrapolating.
+#: The first call pays one-off warmup — lazy imports, numpy buffer
+#: allocation, cache population — that the remaining items never repeat,
+#: so the raw probe overestimates steady-state serial cost and (before
+#: this discount existed) spun up a pool for maps that finish faster
+#: serially.  0.5 assumes up to half the first call was warmup; pass
+#: ``probe_warmup_factor=1.0`` to trust the raw probe.
+PROBE_WARMUP_FACTOR = 0.5
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -107,6 +118,7 @@ def parallel_map(
     initializer: Optional[Callable[..., None]] = None,
     initargs: Sequence = (),
     break_even_s: Optional[float] = None,
+    probe_warmup_factor: Optional[float] = None,
 ) -> List[_R]:
     """Map ``fn`` over ``items``, optionally across a process pool.
 
@@ -122,6 +134,10 @@ def parallel_map(
             identical either way).  ``None`` uses
             :data:`POOL_BREAK_EVEN_S`; ``0.0`` disables the probe and
             always uses the pool when ``jobs > 1``.
+        probe_warmup_factor: Fraction of the probed first-item time
+            attributed to steady-state work (the rest is one-off warmup
+            and excluded from the extrapolation).  ``None`` uses
+            :data:`PROBE_WARMUP_FACTOR`; ``1.0`` disables the discount.
 
     Returns:
         Results in the order of ``items``.  Serial-path exceptions
@@ -136,6 +152,12 @@ def parallel_map(
         count = min(count, len(work))
     if break_even_s is None:
         break_even_s = POOL_BREAK_EVEN_S
+    if probe_warmup_factor is None:
+        probe_warmup_factor = PROBE_WARMUP_FACTOR
+    if not 0.0 < probe_warmup_factor <= 1.0:
+        raise ConfigurationError(
+            f"probe_warmup_factor must be in (0, 1], got {probe_warmup_factor}"
+        )
     if not work:
         if initializer is not None:
             initializer(*initargs)
@@ -159,7 +181,10 @@ def parallel_map(
                 initializer, initargs = None, ()
         probe_t0 = perf_counter()
         prefix.append(fn(work[0]))
-        item_s = perf_counter() - probe_t0
+        probe_s = perf_counter() - probe_t0
+        # The first call carries one-off warmup the rest never repeat;
+        # extrapolate from the discounted steady-state estimate.
+        item_s = probe_s * probe_warmup_factor
         work = work[1:]
         if not work or item_s * len(work) < break_even_s:
             return prefix + [fn(item) for item in work]

@@ -1,0 +1,465 @@
+"""Persistent worker pool with shared-memory payload shipping.
+
+:func:`repro.perf.parallel.parallel_map` forks a fresh pool per call, which
+is the right shape for one-shot fan-outs but the wrong one for *campaigns*:
+a sharded sweep submits many batches of work against the same heavyweight
+shared state (trained DNN weights, encoded probe frames), and paying
+fork/spawn startup plus context shipping per call erases the parallel win.
+
+This module owns the long-lived shape:
+
+* :class:`SharedPayload` pickles an arbitrary object **once** with its
+  numpy planes hoisted out-of-band (pickle protocol 5) into a single
+  ``multiprocessing.shared_memory`` block.  Workers reconstruct the object
+  zero-copy from the shared planes — the per-worker cost is the small
+  metadata pickle, not megabytes of frame/weight data, and nothing is
+  re-shipped per task.
+* :class:`PersistentPool` starts workers once and keeps them hot for the
+  whole campaign.  The parent assigns one task to one worker at a time, so
+  accounting is exact: a worker that dies (``Process.is_alive()`` checked
+  every heartbeat interval) or exceeds the per-task deadline is killed,
+  its task requeued to a fresh worker, and the campaign continues.  Task
+  results are keyed by submission index, so retries and out-of-order
+  completion cannot change the output.
+
+Failure semantics mirror :mod:`repro.perf.parallel`: a task exception is
+re-raised in the parent as :class:`repro.errors.ParallelWorkerError`
+carrying the worker-side traceback; a task that keeps failing (crash or
+timeout) after ``max_task_retries`` requeues raises instead of looping
+forever.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import traceback
+from dataclasses import dataclass
+from multiprocessing import get_all_start_methods, get_context
+from multiprocessing.shared_memory import SharedMemory
+from time import monotonic
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, ParallelWorkerError
+from ..obs import OBS
+
+__all__ = [
+    "SharedPayload",
+    "SharedPayloadHandle",
+    "PersistentPool",
+    "DEFAULT_TASK_TIMEOUT_S",
+    "DEFAULT_HEARTBEAT_S",
+]
+
+#: Per-task wall-clock deadline before a worker is presumed hung.  Sweeps
+#: run shards of a few seconds each; ten minutes means only a genuinely
+#: wedged worker (deadlock, runaway loop) trips it.
+DEFAULT_TASK_TIMEOUT_S = 600.0
+
+#: How often the parent checks worker liveness while waiting for results.
+DEFAULT_HEARTBEAT_S = 0.5
+
+#: Give-up threshold: a task requeued this many times (worker death or
+#: timeout each time) raises instead of being retried again.
+DEFAULT_MAX_TASK_RETRIES = 2
+
+
+# ------------------------------------------------------- shared-memory pack
+
+
+def _attach_shm(name: str) -> SharedMemory:
+    """Attach to an existing block without resource-tracker ownership.
+
+    Only the creating process may unlink the block; attaching workers must
+    not register it with their resource tracker, or the tracker "cleans
+    up" (unlinks) the segment when the first worker exits and the
+    remaining workers lose their planes.  Python 3.13 has ``track=False``
+    for exactly this; older versions need the documented unregister
+    workaround.
+    """
+    try:
+        return SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        shm = SharedMemory(name=name)
+        if "fork" not in get_all_start_methods():
+            # Spawned children run their *own* resource tracker, which
+            # would unlink the segment when this worker exits and yank the
+            # planes out from under every other worker.  Forked children
+            # share the parent's tracker, where the duplicate registration
+            # is harmless (set semantics) and unregistering here would
+            # instead double-remove the parent's own registration.
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+        return shm
+
+
+#: Attached segments kept alive for the worker process lifetime: the
+#: reconstructed numpy arrays alias this memory, so dropping the
+#: SharedMemory object (and its mmap) would invalidate them.
+_ATTACHED: List[SharedMemory] = []
+
+
+@dataclass(frozen=True)
+class SharedPayloadHandle:
+    """Picklable locator for a :class:`SharedPayload` (tiny: metadata only).
+
+    Ship this through worker ``initargs``; call :meth:`load` worker-side.
+    """
+
+    meta: bytes
+    shm_name: Optional[str]
+    offsets: Tuple[int, ...]
+    sizes: Tuple[int, ...]
+
+    def load(self) -> Any:
+        """Reconstruct the object, aliasing planes in shared memory."""
+        if self.shm_name is None:
+            return pickle.loads(self.meta)
+        shm = _attach_shm(self.shm_name)
+        _ATTACHED.append(shm)
+        buffers = [
+            shm.buf[offset:offset + size]
+            for offset, size in zip(self.offsets, self.sizes)
+        ]
+        return pickle.loads(self.meta, buffers=buffers)
+
+
+class SharedPayload:
+    """An object pickled once, numpy planes hoisted into shared memory.
+
+    The owner (parent process) keeps this alive for the campaign and calls
+    :meth:`close` when done — that unlinks the segment.  Workers only ever
+    see the :attr:`handle`.
+    """
+
+    def __init__(self, obj: Any) -> None:
+        raw_buffers: List[pickle.PickleBuffer] = []
+        meta = pickle.dumps(obj, protocol=5, buffer_callback=raw_buffers.append)
+        views = [buf.raw() for buf in raw_buffers]
+        sizes = tuple(view.nbytes for view in views)
+        total = sum(sizes)
+        if total == 0:
+            self._shm: Optional[SharedMemory] = None
+            self.handle = SharedPayloadHandle(meta, None, (), ())
+            return
+        self._shm = SharedMemory(create=True, size=total)
+        offsets = []
+        cursor = 0
+        for view, size in zip(views, sizes):
+            offsets.append(cursor)
+            self._shm.buf[cursor:cursor + size] = view.cast("B")
+            cursor += size
+        for buf in raw_buffers:
+            buf.release()
+        self.handle = SharedPayloadHandle(
+            meta, self._shm.name, tuple(offsets), sizes
+        )
+
+    @property
+    def nbytes_shared(self) -> int:
+        """Bytes living in the shared segment (0 when all in-band)."""
+        return sum(self.handle.sizes)
+
+    def close(self) -> None:
+        """Release and unlink the shared segment (idempotent)."""
+        if self._shm is not None:
+            try:
+                self._shm.close()
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+            self._shm = None
+
+    def __enter__(self) -> "SharedPayload":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+
+# --------------------------------------------------------------- the pool
+
+
+def _worker_main(
+    worker_id: int,
+    worker_fn: Callable[[Any], Any],
+    initializer: Optional[Callable[..., None]],
+    initargs: Sequence,
+    task_q,
+    result_q,
+) -> None:
+    """Worker loop: initialize once, then serve tasks until the sentinel."""
+    try:
+        if initializer is not None:
+            initializer(*initargs)
+    except BaseException:
+        result_q.put(("init_error", worker_id, traceback.format_exc()))
+        return
+    result_q.put(("ready", worker_id))
+    while True:
+        task = task_q.get()
+        if task is None:
+            return
+        task_id, payload = task
+        try:
+            result = worker_fn(payload)
+        except BaseException:
+            result_q.put(("error", worker_id, task_id, traceback.format_exc()))
+            continue
+        result_q.put(("done", worker_id, task_id, result))
+
+
+@dataclass
+class _Worker:
+    """Parent-side record of one worker process."""
+
+    process: Any
+    task_q: Any
+    task_id: Optional[int] = None       # currently assigned task
+    started_at: float = 0.0
+    ready: bool = False                  # initializer finished
+
+
+class PersistentPool:
+    """A pool of long-lived workers with liveness and deadline supervision.
+
+    Args:
+        worker_fn: Top-level (picklable on spawn platforms) function of one
+            payload argument.
+        jobs: Worker count (must be >= 1).
+        initializer: Per-worker setup hook, run once at worker start — the
+            natural place to ``SharedPayloadHandle.load()`` shared state.
+        initargs: Arguments for ``initializer``; keep them small (a
+            :class:`SharedPayloadHandle`, not the object itself).
+        task_timeout_s: Per-task wall-clock deadline; exceeding it kills
+            the worker and requeues the task.  ``None`` disables deadlines.
+        heartbeat_s: Liveness poll interval.
+        max_task_retries: Requeues tolerated per task before giving up.
+
+    Use as a context manager; :meth:`run_tasks` may be called repeatedly —
+    workers stay hot between calls.
+    """
+
+    def __init__(
+        self,
+        worker_fn: Callable[[Any], Any],
+        jobs: int,
+        initializer: Optional[Callable[..., None]] = None,
+        initargs: Sequence = (),
+        task_timeout_s: Optional[float] = DEFAULT_TASK_TIMEOUT_S,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        max_task_retries: int = DEFAULT_MAX_TASK_RETRIES,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"PersistentPool needs jobs >= 1, got {jobs}")
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ConfigurationError(
+                f"task_timeout_s must be positive or None, got {task_timeout_s}"
+            )
+        self._worker_fn = worker_fn
+        self._initializer = initializer
+        self._initargs = tuple(initargs)
+        self._jobs = int(jobs)
+        self._task_timeout_s = task_timeout_s
+        self._heartbeat_s = float(heartbeat_s)
+        self._max_task_retries = int(max_task_retries)
+        methods = get_all_start_methods()
+        self._ctx = get_context("fork" if "fork" in methods else None)
+        self._result_q = self._ctx.Queue()
+        self._workers: Dict[int, _Worker] = {}
+        self._next_worker_id = 0
+        self._closed = False
+        for _ in range(self._jobs):
+            self._spawn_worker()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def _spawn_worker(self) -> int:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        task_q = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                self._worker_fn,
+                self._initializer,
+                self._initargs,
+                task_q,
+                self._result_q,
+            ),
+            daemon=True,
+        )
+        process.start()
+        self._workers[worker_id] = _Worker(process=process, task_q=task_q)
+        return worker_id
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers.values():
+            try:
+                worker.task_q.put(None)
+            except Exception:
+                pass
+        for worker in self._workers.values():
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=1.0)
+            worker.task_q.close()
+        self._result_q.close()
+        self._workers.clear()
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+    @property
+    def worker_respawns(self) -> int:
+        """How many workers were started beyond the initial pool."""
+        return self._next_worker_id - self._jobs
+
+    # ----------------------------------------------------------- scheduling
+
+    def _assign(self, worker: _Worker, task_id: int, payload: Any) -> None:
+        worker.task_id = task_id
+        worker.started_at = monotonic()
+        worker.task_q.put((task_id, payload))
+
+    def _replace_worker(self, worker_id: int, reason: str) -> Optional[int]:
+        """Kill + respawn one worker; return its orphaned task id."""
+        worker = self._workers.pop(worker_id)
+        orphan = worker.task_id
+        if worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=1.0)
+        worker.task_q.close()
+        OBS.count("sweep.pool.worker_respawned")
+        self._spawn_worker()
+        return orphan
+
+    def run_tasks(
+        self,
+        payloads: Sequence[Any],
+        on_result: Optional[Callable[[int, Any], None]] = None,
+    ) -> List[Any]:
+        """Run every payload through the pool; results in submission order.
+
+        Dead/hung workers are detected while waiting and their task is
+        requeued onto a fresh worker; a task that raises in the worker (or
+        exhausts its retries) raises :class:`ParallelWorkerError` here.
+
+        ``on_result(task_id, result)`` fires in the parent as each task
+        completes (completion order, not submission order) — the hook the
+        sweep scheduler checkpoints from, so an interrupt between calls
+        loses at most the in-flight tasks.
+        """
+        if self._closed:
+            raise ConfigurationError("PersistentPool is closed")
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        pending: List[int] = list(range(len(payloads)))
+        results: Dict[int, Any] = {}
+        retries: Dict[int, int] = {}
+
+        def feed_idle() -> None:
+            for worker in self._workers.values():
+                if not pending:
+                    return
+                if worker.ready and worker.task_id is None:
+                    task_id = pending.pop(0)
+                    self._assign(worker, task_id, payloads[task_id])
+
+        def requeue(task_id: int, why: str) -> None:
+            retries[task_id] = retries.get(task_id, 0) + 1
+            OBS.count("sweep.pool.task_requeued")
+            if retries[task_id] > self._max_task_retries:
+                raise ParallelWorkerError(
+                    f"task {task_id} abandoned after "
+                    f"{self._max_task_retries} retries (last failure: {why})"
+                )
+            pending.insert(0, task_id)
+
+        feed_idle()
+        while len(results) < len(payloads):
+            try:
+                message = self._result_q.get(timeout=self._heartbeat_s)
+            except queue.Empty:
+                self._check_liveness(requeue)
+                feed_idle()
+                continue
+            kind = message[0]
+            if kind == "ready":
+                worker = self._workers.get(message[1])
+                if worker is not None:
+                    worker.ready = True
+            elif kind == "init_error":
+                raise ParallelWorkerError(
+                    "worker initializer failed:\n" + message[2]
+                )
+            elif kind == "done":
+                _, worker_id, task_id, result = message
+                worker = self._workers.get(worker_id)
+                if worker is not None and worker.task_id == task_id:
+                    worker.task_id = None
+                if task_id not in results:
+                    results[task_id] = result
+                    if on_result is not None:
+                        on_result(task_id, result)
+            elif kind == "error":
+                _, worker_id, task_id, formatted = message
+                worker = self._workers.get(worker_id)
+                if worker is not None and worker.task_id == task_id:
+                    worker.task_id = None
+                raise ParallelWorkerError(
+                    f"worker task {task_id} failed:\n"
+                    f"--- worker traceback ---\n{formatted}"
+                )
+            feed_idle()
+        return [results[i] for i in range(len(payloads))]
+
+    def _check_liveness(self, requeue: Callable[[int, str], None]) -> None:
+        """Heartbeat tick: requeue tasks held by dead or overdue workers."""
+        now = monotonic()
+        for worker_id in list(self._workers):
+            worker = self._workers[worker_id]
+            if not worker.process.is_alive():
+                orphan = self._replace_worker(worker_id, "worker died")
+                if orphan is not None:
+                    requeue(orphan, f"worker pid exited (task {orphan})")
+            elif (
+                worker.task_id is not None
+                and self._task_timeout_s is not None
+                and now - worker.started_at > self._task_timeout_s
+            ):
+                orphan = self._replace_worker(worker_id, "task timeout")
+                if orphan is not None:
+                    requeue(
+                        orphan,
+                        f"task {orphan} exceeded {self._task_timeout_s:g}s deadline",
+                    )
+
+
+def pool_start_method() -> str:
+    """The multiprocessing start method :class:`PersistentPool` will use."""
+    if "fork" in get_all_start_methods():
+        return "fork"
+    return get_context().get_start_method()

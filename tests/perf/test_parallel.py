@@ -1,6 +1,7 @@
 """Tests for the perf package: mode switch, job resolution, parallel_map."""
 
 import os
+import time
 
 import pytest
 
@@ -172,6 +173,82 @@ class TestBreakEvenFallback:
         items = list(range(6))
         result = parallel_map(_square, items, jobs=2, break_even_s=0.0)
         assert result == [x * x for x in items]
+
+
+_WARMED = {"done": False}
+
+
+def _warmup_heavy(x):
+    """First call simulates lazy-import/allocation warmup; rest are cheap."""
+    if not _WARMED["done"]:
+        _WARMED["done"] = True
+        time.sleep(0.05)
+    return x + 1
+
+
+class _FakePool:
+    """Stand-in ProcessPoolExecutor recording that a pool was requested."""
+
+    created = 0
+
+    def __init__(self, max_workers=None, mp_context=None, initializer=None,
+                 initargs=()):
+        type(self).created += 1
+        if initializer is not None:
+            initializer(*initargs)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def map(self, fn, items):
+        return [fn(item) for item in items]
+
+
+class TestProbeWarmupDiscount:
+    """The probe must not mistake first-call warmup for steady-state cost.
+
+    Regression for the bug where ``item_s`` included lazy imports / numpy
+    buffer allocation from the very first call, overestimating the serial
+    cost of the remaining items and spinning up a pool for maps that
+    finish faster serially.
+    """
+
+    def test_warmup_heavy_first_item_stays_serial(self, monkeypatch):
+        def no_pool(*args, **kwargs):
+            raise AssertionError("warmup-inflated probe spun up a pool")
+
+        monkeypatch.setattr("repro.perf.parallel.ProcessPoolExecutor", no_pool)
+        # 11 remaining items at ~50 ms raw probe ≈ 0.55 s extrapolated —
+        # past break-even on the undiscounted estimate, below it once the
+        # warmup discount halves the probe.
+        _WARMED["done"] = False
+        items = list(range(12))
+        assert parallel_map(_warmup_heavy, items, jobs=4) == [
+            x + 1 for x in items
+        ]
+
+    def test_factor_one_restores_raw_probe(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.perf.parallel.ProcessPoolExecutor", _FakePool
+        )
+        _FakePool.created = 0
+        _WARMED["done"] = False
+        items = list(range(12))
+        result = parallel_map(
+            _warmup_heavy, items, jobs=4, probe_warmup_factor=1.0
+        )
+        assert result == [x + 1 for x in items]
+        assert _FakePool.created == 1
+
+    def test_invalid_factor_rejected(self):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ConfigurationError):
+                parallel_map(
+                    _square, [1, 2], jobs=2, probe_warmup_factor=bad
+                )
 
 
 class TestTiming:

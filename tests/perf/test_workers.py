@@ -1,0 +1,172 @@
+"""Tests for the persistent worker pool and shared-memory shipping."""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ParallelWorkerError
+from repro.perf.workers import (
+    PersistentPool,
+    SharedPayload,
+)
+
+# Worker functions must be importable top-level callables.
+
+_STATE = {}
+
+
+def _install(handle):
+    _STATE["obj"] = handle.load()
+
+
+def _lookup(i):
+    return float(_STATE["obj"]["plane"][i])
+
+
+def _double(x):
+    return x * 2
+
+
+def _crash_marker(path_and_value):
+    """Die hard (skipping cleanup) the first time the marker file exists."""
+    path, value = path_and_value
+    if path is not None and os.path.exists(path):
+        os.remove(path)
+        os._exit(13)
+    return value * 10
+
+
+def _sleep_marker(path_and_value):
+    """Hang (sleep) the first time the marker file exists."""
+    path, value = path_and_value
+    if path is not None and os.path.exists(path):
+        os.remove(path)
+        time.sleep(60.0)
+    return value * 10
+
+
+def _always_exit(_):
+    os._exit(1)
+
+
+def _raise_value_error(x):
+    raise ValueError(f"bad item {x}")
+
+
+def _init_boom():
+    raise RuntimeError("init exploded")
+
+
+class TestSharedPayload:
+    def test_numpy_planes_go_out_of_band(self):
+        plane = np.arange(4096, dtype=np.float64)
+        with SharedPayload({"plane": plane, "tag": "x"}) as payload:
+            assert payload.nbytes_shared >= plane.nbytes
+            restored = payload.handle.load()
+            assert restored["tag"] == "x"
+            np.testing.assert_array_equal(restored["plane"], plane)
+
+    def test_pure_python_payload_has_no_segment(self):
+        with SharedPayload({"a": 1, "b": [2, 3]}) as payload:
+            assert payload.nbytes_shared == 0
+            assert payload.handle.load() == {"a": 1, "b": [2, 3]}
+
+    def test_close_is_idempotent(self):
+        payload = SharedPayload({"plane": np.zeros(16)})
+        payload.close()
+        payload.close()
+
+    def test_workers_read_shared_planes(self):
+        plane = np.linspace(0.0, 1.0, 64)
+        with SharedPayload({"plane": plane}) as payload:
+            with PersistentPool(
+                _lookup, jobs=2, initializer=_install,
+                initargs=(payload.handle,), heartbeat_s=0.1,
+            ) as pool:
+                got = pool.run_tasks([0, 5, 63])
+        assert got == [plane[0], plane[5], plane[63]]
+
+
+class TestPersistentPool:
+    def test_results_in_submission_order(self):
+        with PersistentPool(_double, jobs=3, heartbeat_s=0.1) as pool:
+            assert pool.run_tasks(list(range(20))) == [x * 2 for x in range(20)]
+
+    def test_pool_reusable_across_batches(self):
+        with PersistentPool(_double, jobs=2, heartbeat_s=0.1) as pool:
+            assert pool.run_tasks([1, 2]) == [2, 4]
+            assert pool.run_tasks([]) == []
+            assert pool.run_tasks([5]) == [10]
+        assert pool.worker_respawns == 0
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PersistentPool(_double, jobs=0)
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PersistentPool(_double, jobs=1, task_timeout_s=0.0)
+
+    def test_closed_pool_rejects_tasks(self):
+        pool = PersistentPool(_double, jobs=1, heartbeat_s=0.1)
+        pool.close()
+        with pytest.raises(ConfigurationError):
+            pool.run_tasks([1])
+
+    def test_worker_exception_raises_parallel_worker_error(self):
+        with PersistentPool(_raise_value_error, jobs=2, heartbeat_s=0.1) as pool:
+            with pytest.raises(ParallelWorkerError) as excinfo:
+                pool.run_tasks([1, 2])
+        message = str(excinfo.value)
+        assert "ValueError" in message
+        assert "worker traceback" in message
+
+    def test_initializer_failure_surfaces(self):
+        with PersistentPool(
+            _double, jobs=1, initializer=_init_boom, heartbeat_s=0.1
+        ) as pool:
+            with pytest.raises(ParallelWorkerError, match="initializer"):
+                pool.run_tasks([1])
+
+    def test_dead_worker_task_requeued(self, tmp_path):
+        marker = tmp_path / "die_once"
+        marker.touch()
+        with PersistentPool(
+            _crash_marker, jobs=2, heartbeat_s=0.05, task_timeout_s=30.0
+        ) as pool:
+            got = pool.run_tasks([
+                (str(marker), 1), (None, 2), (None, 3),
+            ])
+            assert got == [10, 20, 30]
+            assert pool.worker_respawns >= 1
+
+    def test_hung_worker_killed_and_task_requeued(self, tmp_path):
+        marker = tmp_path / "hang_once"
+        marker.touch()
+        with PersistentPool(
+            _sleep_marker, jobs=2, heartbeat_s=0.05, task_timeout_s=0.5
+        ) as pool:
+            t0 = time.monotonic()
+            got = pool.run_tasks([(str(marker), 4), (None, 5)])
+            elapsed = time.monotonic() - t0
+        assert got == [40, 50]
+        assert elapsed < 30.0  # killed at the deadline, not the full sleep
+        assert pool.worker_respawns >= 1
+
+    def test_permanent_crasher_abandoned_after_retries(self):
+        with PersistentPool(
+            _always_exit, jobs=1, heartbeat_s=0.05, max_task_retries=1
+        ) as pool:
+            with pytest.raises(ParallelWorkerError, match="abandoned"):
+                pool.run_tasks([0])
+
+    def test_on_result_fires_per_completion(self):
+        seen = []
+        with PersistentPool(_double, jobs=2, heartbeat_s=0.1) as pool:
+            out = pool.run_tasks(
+                [3, 4, 5], on_result=lambda i, r: seen.append((i, r))
+            )
+        assert out == [6, 8, 10]
+        assert sorted(seen) == [(0, 6), (1, 8), (2, 10)]

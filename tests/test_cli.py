@@ -40,6 +40,42 @@ class TestParser:
         args = build_parser().parse_args(["--seed", "42", "quality-model"])
         assert args.seed == 42
 
+    def test_sweep_shard_flags(self):
+        args = build_parser().parse_args([
+            "sweep", "--variant", "base", "--shards", "4",
+            "--checkpoint", "ck.jsonl", "--resume", "--jobs", "2",
+            "--task-timeout", "30", "--result-json", "out.json",
+            "--quick-context",
+        ])
+        assert args.shards == 4
+        assert str(args.checkpoint) == "ck.jsonl"
+        assert args.resume
+        assert args.jobs == 2
+        assert args.task_timeout == 30.0
+        assert str(args.result_json) == "out.json"
+        assert args.quick_context
+
+    def test_sweep_defaults_to_unsharded(self):
+        args = build_parser().parse_args(["sweep", "--variant", "base"])
+        assert args.shards is None
+        assert args.checkpoint is None
+        assert not args.resume
+
+    def test_shards_without_checkpoint_rejected(self, capsys):
+        exit_code = main([
+            "sweep", "--variant", "base", "--shards", "2",
+        ])
+        assert exit_code == 2
+        assert "--checkpoint" in capsys.readouterr().out
+
+    def test_resume_without_shards_rejected(self, capsys):
+        exit_code = main([
+            "sweep", "--variant", "base", "--resume",
+            "--checkpoint", "ck.jsonl",
+        ])
+        assert exit_code == 2
+        assert "--resume requires --shards" in capsys.readouterr().out
+
 
 class TestExecution:
     def test_quality_model_command_runs(self, capsys, monkeypatch, tmp_path):

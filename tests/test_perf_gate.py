@@ -29,6 +29,11 @@ def _report(scale: float = 1.0, **overrides) -> dict:
             "optimized_runs_per_s_at_100_users": 2.0 * scale,
             "metrics_identical": True,
         },
+        "sweep_shard": {
+            "points_per_s_persistent": 20.0 * scale,
+            "persistent_vs_fork_ratio": 1.1,
+            "merged_identical": True,
+        },
     }
     for dotted, value in overrides.items():
         stage, key = dotted.split(".")
@@ -98,6 +103,31 @@ class TestCompare:
 
     def test_parallel_at_least_serial_passes_gate(self):
         candidate = _report(**{"jigsaw_encode.fps_parallel": 1100.0})
+        result = perf_gate.compare(_report(), candidate)
+        assert result["passed"]
+
+    def test_sweep_merge_mismatch_fails_gate(self):
+        candidate = _report(**{"sweep_shard.merged_identical": False})
+        result = perf_gate.compare(_report(), candidate)
+        assert not result["passed"]
+        (flag,) = [
+            f for f in result["flags"]
+            if f["flag"] == "sweep_shard.merged_identical"
+        ]
+        assert not flag["ok"]
+
+    def test_persistent_pool_slower_than_fork_fails_gate(self):
+        candidate = _report(**{"sweep_shard.persistent_vs_fork_ratio": 0.5})
+        result = perf_gate.compare(_report(), candidate)
+        assert not result["passed"]
+        (flag,) = [
+            f for f in result["flags"]
+            if f["flag"] == "sweep_shard.persistent_not_slower_than_fork"
+        ]
+        assert not flag["ok"]
+
+    def test_persistent_pool_within_tolerance_passes_gate(self):
+        candidate = _report(**{"sweep_shard.persistent_vs_fork_ratio": 0.85})
         result = perf_gate.compare(_report(), candidate)
         assert result["passed"]
 
