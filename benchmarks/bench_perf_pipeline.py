@@ -39,6 +39,7 @@ if str(REPO_ROOT / "benchmarks") not in sys.path:
 import numpy as np
 
 from bench_scale_users import USER_COUNTS_FULL, USER_COUNTS_QUICK, bench_emulation_scale
+from bench_service_load import bench_service_load
 from bench_sweep_shard import bench_sweep_shard
 
 from repro.emulation import build_context, run_scheduler_comparison
@@ -310,31 +311,39 @@ def main(argv=None) -> int:
         jig_frames, repair, blocks, ssim_repeats = 24, 2000, 200, 60
     structure = LayerStructure(height=height, width=width)
 
-    print(f"[1/8] jigsaw encode ({height}x{width}, {jig_frames} frames)")
+    print(f"[1/9] jigsaw encode ({height}x{width}, {jig_frames} frames)")
     jigsaw = bench_jigsaw_encode(height, width, jig_frames, jobs)
-    print(f"[2/8] fountain encode ({repair} repair symbols)")
+    print(f"[2/9] fountain encode ({repair} repair symbols)")
     fountain_encode = bench_fountain_encode(structure, repair)
-    print(f"[3/8] fountain decode ({blocks} blocks)")
+    print(f"[3/9] fountain decode ({blocks} blocks)")
     fountain_decode = bench_fountain_decode(structure, blocks)
-    print(f"[4/8] ssim ({ssim_repeats} frames)")
+    print(f"[4/9] ssim ({ssim_repeats} frames)")
     ssim_stage = bench_ssim(height, width, ssim_repeats)
-    print("[5/8] decoded-frame byte identity (seed vs optimized codec)")
+    print("[5/9] decoded-frame byte identity (seed vs optimized codec)")
     frames_identical = check_decoded_frames_identical(structure)
-    print(f"[6/8] emulation ({runs}-run scheduler comparison, jobs={jobs})")
+    print(f"[6/9] emulation ({runs}-run scheduler comparison, jobs={jobs})")
     emulation = bench_emulation(args.quick, runs, frames, users=4, jobs=jobs)
     emulation["decoded_frames_identical"] = frames_identical
     scale_counts = USER_COUNTS_QUICK if args.quick else USER_COUNTS_FULL
-    print(f"[7/8] emulation scale (cohort sweep to {scale_counts[-1]} users)")
+    print(f"[7/9] emulation scale (cohort sweep to {scale_counts[-1]} users)")
     emulation_scale = bench_emulation_scale(
         _context(args.quick), scale_counts, frames
     )
     sweep_runs = 8 if args.quick else 12
     sweep_frames = 2 if args.quick else 3
-    print(f"[8/8] sharded sweep ({sweep_runs} runs on persistent pool, "
+    print(f"[8/9] sharded sweep ({sweep_runs} runs on persistent pool, "
           f"jobs={min(jobs, 2)})")
     sweep_shard = bench_sweep_shard(
         _context(args.quick), sweep_runs, sweep_frames,
         shards=sweep_runs, jobs=min(jobs, 2),
+    )
+    svc_sessions = 4 if args.quick else 8
+    svc_receivers = 52 if args.quick else 104
+    svc_churn = 40 if args.quick else 80
+    print(f"[9/9] service load ({svc_receivers} receivers across "
+          f"{svc_sessions} sessions)")
+    service_load = bench_service_load(
+        _context(args.quick), svc_sessions, svc_receivers, svc_churn,
     )
 
     report = {
@@ -355,6 +364,7 @@ def main(argv=None) -> int:
             "emulation": emulation,
             "emulation_scale": emulation_scale,
             "sweep_shard": sweep_shard,
+            "service_load": service_load,
         },
         "acceptance": {
             "fountain_repair_encode_speedup": fountain_encode["speedup_vs_seed"],
@@ -367,6 +377,9 @@ def main(argv=None) -> int:
             "scale_metrics_identical": emulation_scale["metrics_identical"],
             "sweep_merged_identical": sweep_shard["merged_identical"],
             "decoded_frames_identical": frames_identical,
+            "service_zero_dropped": service_load["zero_dropped"],
+            "service_membership_reflected": service_load["membership_reflected"],
+            "service_clean_shutdown": service_load["clean_shutdown"],
         },
     }
     path = write_bench_report(args.output, report)
@@ -397,6 +410,11 @@ def main(argv=None) -> int:
           f"points/s persistent "
           f"(x{sweep_shard['persistent_vs_fork_ratio']:.2f} vs fork, "
           f"{sweep_shard['parallel_efficiency']:.2f} efficiency)")
+    print(f"service load         : {service_load['control_msgs_per_s']:8.1f} "
+          f"msgs/s ({service_load['receivers']} receivers x "
+          f"{service_load['sessions']} sessions, "
+          f"RTT p95 {service_load['feedback_rtt_p95_s']:.4f} s, "
+          f"dropped {service_load['dropped_msgs']})")
     print(f"metrics identical    : {emulation['metrics_identical']}"
           f" (scale: {emulation_scale['metrics_identical']}, "
           f"sweep: {sweep_shard['merged_identical']})")
@@ -405,7 +423,10 @@ def main(argv=None) -> int:
 
     ok = (emulation["metrics_identical"] and frames_identical
           and emulation_scale["metrics_identical"]
-          and sweep_shard["merged_identical"])
+          and sweep_shard["merged_identical"]
+          and service_load["zero_dropped"]
+          and service_load["membership_reflected"]
+          and service_load["clean_shutdown"])
     return 0 if ok else 1
 
 

@@ -38,6 +38,7 @@ GATED_METRICS = (
     ("emulation_scale", "speedup_at_100_users"),
     ("emulation_scale", "optimized_runs_per_s_at_100_users"),
     ("sweep_shard", "points_per_s_persistent"),
+    ("service_load", "control_msgs_per_s"),
 )
 
 #: Correctness booleans that must hold in the candidate regardless of speed.
@@ -46,6 +47,9 @@ REQUIRED_FLAGS = (
     ("emulation", "decoded_frames_identical"),
     ("emulation_scale", "metrics_identical"),
     ("sweep_shard", "merged_identical"),
+    ("service_load", "zero_dropped"),
+    ("service_load", "membership_reflected"),
+    ("service_load", "clean_shutdown"),
 )
 
 DEFAULT_TOLERANCE = 0.30

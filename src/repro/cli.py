@@ -9,6 +9,9 @@ Examples::
     repro-wigig sweep --variant base --variant rr:scheduler=round_robin
     repro-wigig sweep --variant base --variant rr:scheduler=round_robin \\
         --runs 40 --shards 8 --jobs 4 --checkpoint campaign.jsonl --resume
+    repro-wigig sweep --fault-grid blockage_rate_hz --fault-values 0,1,2 \\
+        --runs 8 --shards 4 --checkpoint chaos.jsonl
+    repro-wigig serve --quick-context --control-port 8700 --receiver-port 8701
     repro-wigig quality-model --epochs 500
     repro-wigig observe --users 3 --frames 6 --trace obs_trace.jsonl
     repro-wigig chaos --users 3 --frames 9 \\
@@ -28,6 +31,7 @@ from . import obs
 from .core import MulticastStreamer
 from .emulation import (
     build_context,
+    fault_grid,
     parse_config_overrides,
     run_ablation,
     run_beamforming_comparison,
@@ -116,6 +120,11 @@ def _cmd_sweep(args) -> int:
     each appended to the ``--checkpoint`` JSONL as it completes.  A killed
     run restarted with ``--resume`` re-runs only the missing shards and
     merges to a bit-identical result.
+
+    ``--fault-grid AXIS --fault-values V,V,...`` appends one chaos arm per
+    value of a :class:`repro.faults.FaultConfig` knob; fault campaigns go
+    through the same sharded scheduler as any other variant set (their
+    overrides canonicalize into the checkpoint's campaign hash).
     """
     from .emulation import run_sharded_sweep, write_results_json
     from .emulation.shard import CampaignSpec
@@ -126,6 +135,29 @@ def _cmd_sweep(args) -> int:
     if args.resume and args.shards is None:
         print("--resume requires --shards")
         return 2
+    variants = [variant_from_spec(spec) for spec in args.variant]
+    if args.fault_grid is not None:
+        if not args.fault_values:
+            print("--fault-grid requires --fault-values V[,V,...]")
+            return 2
+        base = {}
+        for item in args.fault_base:
+            key, sep, value = item.partition("=")
+            if not sep or not key.strip():
+                print(f"bad --fault-base {item!r} (expected field=value)")
+                return 2
+            key = key.strip()
+            if "." not in key:
+                key = f"faults.{key}"
+            base[key] = value.strip()
+        values = [v.strip() for v in args.fault_values.split(",") if v.strip()]
+        variants.extend(fault_grid(args.fault_grid, values, base))
+    elif args.fault_values or args.fault_base:
+        print("--fault-values/--fault-base require --fault-grid AXIS")
+        return 2
+    if not variants:
+        print("need at least one arm: --variant and/or --fault-grid")
+        return 2
     if args.quick_context:
         ctx = build_context(
             height=144, width=256, dnn_epochs=60, probe_frames=2,
@@ -133,7 +165,6 @@ def _cmd_sweep(args) -> int:
         )
     else:
         ctx = build_context(seed=args.seed)
-    variants = [variant_from_spec(spec) for spec in args.variant]
     spec = None
     if args.shards is not None:
         spec = CampaignSpec(
@@ -217,21 +248,9 @@ def _cmd_observe(args) -> int:
     return 0
 
 
-def _outcome_fingerprint(outcome) -> tuple:
+def _outcome_fingerprint(outcome) -> str:
     """A bit-exact, order-independent digest of a session's OutcomeStats."""
-    return tuple(
-        sorted(
-            (
-                s.frame_index,
-                s.user_id,
-                float(s.ssim).hex(),
-                float(s.psnr_db).hex(),
-                tuple(s.bytes_received_per_layer),
-                s.deadline_met,
-            )
-            for s in outcome.stats
-        )
-    )
+    return outcome.fingerprint()
 
 
 def _cmd_chaos(args) -> int:
@@ -301,6 +320,56 @@ def _cmd_chaos(args) -> int:
     return 0 if deterministic else 1
 
 
+def _cmd_serve(args) -> int:
+    """Run the asyncio multicast service until SIGTERM/SIGINT.
+
+    Sessions are created at runtime through ``POST /start`` on the
+    control plane; receivers join over the length-prefixed JSON protocol.
+    Both termination signals trigger the graceful drain path: receivers
+    get ``bye`` plus a grace window for in-flight feedback, broadcasters
+    stop at their next frame boundary, and every JSONL trace recorder is
+    flushed before the process exits.
+    """
+    import asyncio
+    import signal
+
+    from .service import ServiceServer
+
+    if args.obs != "off":
+        obs.configure(mode=args.obs, trace_path=str(args.trace))
+    if args.quick_context:
+        ctx = build_context(
+            height=144, width=256, dnn_epochs=60, probe_frames=2,
+            seed=args.seed,
+        )
+    else:
+        ctx = build_context(seed=args.seed)
+
+    def _log(line: str) -> None:
+        # Unbuffered: supervisors (and the smoke test) parse these lines
+        # to discover the ephemeral ports before the first request.
+        print(line, flush=True)
+
+    async def _serve() -> None:
+        server = ServiceServer(
+            ctx,
+            host=args.host,
+            receiver_port=args.receiver_port,
+            control_port=args.control_port,
+            frame_interval_s=args.frame_interval,
+            drain_s=args.drain,
+            log=_log,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        await server.serve_until(stop)
+
+    asyncio.run(_serve())
+    return 0
+
+
 def _cmd_quality_model(args) -> int:
     from .quality import train_quality_models
 
@@ -364,10 +433,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p)
     p.add_argument(
-        "--variant", action="append", required=True,
+        "--variant", action="append", default=[],
         metavar="NAME[:FIELD=VALUE,...]",
         help="one comparison arm, e.g. rr:scheduler=round_robin "
              "(repeat for more arms)",
+    )
+    p.add_argument(
+        "--fault-grid", default=None, metavar="AXIS",
+        help="sweep one FaultConfig knob (e.g. blockage_rate_hz); adds "
+             "one arm per --fault-values entry",
+    )
+    p.add_argument(
+        "--fault-values", default=None, metavar="V[,V,...]",
+        help="comma-separated grid points for --fault-grid",
+    )
+    p.add_argument(
+        "--fault-base", action="append", default=[],
+        metavar="FIELD=VALUE",
+        help="FaultConfig override shared by every --fault-grid arm "
+             "(repeat for more)",
     )
     p.add_argument(
         "--shards", type=int, default=None, metavar="N",
@@ -436,6 +520,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="same-seed replays to compare (default: 2)",
     )
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the asyncio multicast service (REST control plane + "
+             "receiver protocol)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--receiver-port", type=int, default=0,
+        help="receiver-protocol TCP port (default: ephemeral)",
+    )
+    p.add_argument(
+        "--control-port", type=int, default=0,
+        help="REST control-plane port (default: ephemeral)",
+    )
+    p.add_argument(
+        "--frame-interval", type=float, default=0.0, metavar="SECONDS",
+        help="wall-clock pacing between frames (0 = as fast as possible)",
+    )
+    p.add_argument(
+        "--drain", type=float, default=0.25, metavar="SECONDS",
+        help="shutdown grace window for in-flight receiver messages",
+    )
+    p.add_argument(
+        "--obs", choices=["off", "counters", "trace"], default="counters",
+        help="observability mode for the server process (default: counters)",
+    )
+    p.add_argument(
+        "--trace", type=Path, default=Path("repro_obs_trace.jsonl"),
+        help="server-wide JSONL trace destination (--obs trace only)",
+    )
+    p.add_argument(
+        "--quick-context", action="store_true",
+        help="small low-res experiment context (CI-sized sessions)",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("quality-model", help="train and evaluate Table 1 models")
     p.add_argument("--epochs", type=int, default=300)

@@ -461,27 +461,99 @@ class StreamSession:
         )
         self.faults = faults
         self._previous_active: Optional[Tuple[int, ...]] = None
+        #: Full membership the trace was recorded for; external joins may
+        #: only re-admit users the trace knows channels for.
+        self.all_users: Tuple[int, ...] = tuple(self.users)
         self.outcome = StreamOutcome()
 
     def run(self, num_frames: int) -> StreamOutcome:
         """Stream ``num_frames`` frames and return the session outcome."""
+        total_frames = self.begin(num_frames)
+        for frame_index in range(total_frames):
+            self.stream_frame(frame_index)
+        return self.outcome
+
+    def begin(self, num_frames: int) -> int:
+        """Validate the frame budget and arm fault injection.
+
+        External drivers (the service layer's broadcaster) call this once,
+        then step frames individually via :meth:`stream_frame`;
+        :meth:`run` is exactly ``begin`` + the loop.
+        """
         total_frames = int(num_frames)
         if total_frames <= 0:
             raise ConfigurationError(
                 f"need at least one frame, got {total_frames}"
             )
         self._ensure_faults(total_frames)
-        for frame_index in range(total_frames):
-            with OBS.span("frame.stream", frame=frame_index) as frame_span:
-                ctx = self.frame_context(frame_index)
-                ctx.span = frame_span
-                if self.faults is not None and not self._begin_frame_faults(
-                    ctx
-                ):
-                    continue
-                self._run_stages(ctx)
-                self._finalize_frame(ctx, frame_span)
-        return self.outcome
+        return total_frames
+
+    def stream_frame(self, frame_index: int) -> bool:
+        """Drive one frame through the stages; False for an idle frame.
+
+        A frame is idle when fault-injected churn (or external control-plane
+        leaves) empties the membership: the frame clock still advances, but
+        no stage runs and no stats land.
+        """
+        with OBS.span("frame.stream", frame=frame_index) as frame_span:
+            if not self.users:
+                OBS.count("session.membership.idle_frames")
+                return False
+            ctx = self.frame_context(frame_index)
+            ctx.span = frame_span
+            if self.faults is not None and not self._begin_frame_faults(
+                ctx
+            ):
+                return False
+            self._run_stages(ctx)
+            self._finalize_frame(ctx, frame_span)
+        return True
+
+    # ---------------------------------------------- external membership
+
+    def evict_user(self, user: int) -> bool:
+        """Control-plane leave: drop ``user`` from the live membership.
+
+        Mirrors the churn-fault leave path: the transmitter's cross-frame
+        tallies for the receiver are evicted so a later rejoin starts from
+        a clean slate.  Applied between frames (the caller must not invoke
+        this mid-:meth:`stream_frame`).  Returns False when the user was
+        not a member (idempotent; double-leaves are counted, not fatal).
+        """
+        if user not in self.users:
+            OBS.count("session.membership.redundant_leaves")
+            return False
+        self.users.remove(user)
+        self.streamer.transmitter.evict_user(user)
+        OBS.count("session.membership.leaves")
+        return True
+
+    def rejoin_user(self, user: int) -> bool:
+        """Control-plane (re)join: re-admit ``user`` to the membership.
+
+        Mirrors the churn-fault rejoin path: the bandwidth estimator resets
+        (a real re-association drops its measurement history) and any
+        feedback-staleness record clears.  Membership keeps the trace's
+        user ordering so results stay deterministic regardless of join
+        order.  Unknown users (no channels in the trace) raise
+        :class:`ConfigurationError`; re-joining a present member is a
+        counted no-op.
+        """
+        if user not in self.all_users:
+            raise ConfigurationError(
+                f"user {user} is not part of this session's trace "
+                f"(known users: {list(self.all_users)})"
+            )
+        if user in self.users:
+            OBS.count("session.membership.redundant_joins")
+            return False
+        self.users.append(user)
+        order = {u: i for i, u in enumerate(self.all_users)}
+        self.users.sort(key=order.__getitem__)
+        self.state.bw_estimators[user].reset()
+        self.state.feedback_staleness.pop(user, None)
+        OBS.count("session.membership.joins")
+        return True
 
     def _ensure_faults(self, total_frames: int) -> None:
         """Instantiate the controller from the config's ``faults`` block."""

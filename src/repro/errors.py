@@ -53,6 +53,16 @@ class EmulationError(ReproError):
     """An emulation scenario or trace is malformed."""
 
 
+class ServiceError(ReproError):
+    """The multicast service layer was misused or hit an invalid state
+    (unknown session, bad lifecycle transition, malformed session spec)."""
+
+
+class ProtocolError(ServiceError):
+    """A receiver control-plane message violated the wire protocol
+    (bad frame length, oversized payload, invalid JSON, unknown type)."""
+
+
 class ParallelWorkerError(ReproError):
     """A task raised inside a process-pool worker.
 

@@ -31,6 +31,7 @@ from .registry import (
     OFF,
     TRACE,
     ObsRegistry,
+    ScopedObs,
     Span,
     configure,
     observed,
@@ -57,6 +58,7 @@ __all__ = [
     "OFF",
     "TRACE",
     "ObsRegistry",
+    "ScopedObs",
     "Span",
     "configure",
     "observed",

@@ -272,6 +272,16 @@ class ObsRegistry:
             "trace_events": len(self.trace),
         }
 
+    def scoped(self, prefix: str) -> "ScopedObs":
+        """A view of this registry that prefixes every metric name.
+
+        The service layer gives each served session a scope
+        (``service.session.<id>``) so many concurrent sessions can share
+        the process-wide registry without colliding; ``/metrics`` then
+        groups per-session counters by their prefix.
+        """
+        return ScopedObs(self, prefix)
+
     def histograms(self) -> Dict[str, Histogram]:
         """Name -> histogram mapping (live objects)."""
         return dict(self._histograms)
@@ -283,6 +293,71 @@ class ObsRegistry:
     def gauges(self) -> Dict[str, float]:
         """Name -> gauge value mapping."""
         return {n: g.value for n, g in self._gauges.items()}
+
+
+class ScopedObs:
+    """A name-prefixing facade over an :class:`ObsRegistry`.
+
+    Every call forwards to the parent registry with ``<prefix>.`` prepended
+    to the metric name, so instrumented code can be written against one
+    interface whether it reports globally or into a namespace.  Scopes
+    nest: ``registry.scoped("a").scoped("b")`` prefixes ``a.b.``.
+    """
+
+    __slots__ = ("_registry", "prefix")
+
+    def __init__(self, registry: ObsRegistry, prefix: str) -> None:
+        if not prefix or prefix.endswith("."):
+            raise ConfigurationError(
+                f"scope prefix must be a non-empty dotted name, got {prefix!r}"
+            )
+        self._registry = registry
+        self.prefix = prefix
+
+    @property
+    def mode(self) -> int:
+        return self._registry.mode
+
+    def _name(self, name: str) -> str:
+        return f"{self.prefix}.{name}"
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        self._registry.count(self._name(name), amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self._registry.set_gauge(self._name(name), value)
+
+    def observe(self, name: str, value: float) -> None:
+        self._registry.observe(self._name(name), value)
+
+    def span(
+        self, stage: str, frame: Optional[int] = None, **fields: Any
+    ) -> Union[Span, _NullSpan]:
+        return self._registry.span(self._name(stage), frame=frame, **fields)
+
+    def event(
+        self,
+        stage: str,
+        t_start: float,
+        t_end: float,
+        frame: Optional[int] = None,
+        **fields: Any,
+    ) -> None:
+        self._registry.event(
+            self._name(stage), t_start, t_end, frame, **fields
+        )
+
+    def scoped(self, prefix: str) -> "ScopedObs":
+        return ScopedObs(self._registry, self._name(prefix))
+
+    def counters(self) -> Dict[str, float]:
+        """This scope's counters, names relative to the prefix."""
+        dotted = f"{self.prefix}."
+        return {
+            name[len(dotted):]: value
+            for name, value in self._registry.counters().items()
+            if name.startswith(dotted)
+        }
 
 
 def _registry_from_env() -> ObsRegistry:

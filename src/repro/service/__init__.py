@@ -1,0 +1,49 @@
+"""Asynchronous multicast service layer: session server + control plane.
+
+Turns the batch emulation library into a long-running service, modeled on
+the broadcaster / receiver / control-broadcaster split of production
+multicast stacks:
+
+* :class:`ServiceServer` hosts many concurrent served sessions inside one
+  asyncio event loop.  Each session wraps a
+  :class:`repro.core.pipeline.StreamSession` built from a serializable
+  :class:`SessionSpec` and is driven frame-by-frame by a
+  :class:`Broadcaster` task; sessions interleave at frame boundaries.
+* Receivers connect over a length-prefixed JSON protocol
+  (:mod:`repro.service.protocol`) and send ``join`` / ``leave`` /
+  ``feedback`` control messages that mutate live session membership
+  through the pipeline's ``evict_user`` / ``rejoin_user`` seams.
+* A REST control API (stdlib asyncio, no extra dependency) exposes
+  ``/start``, ``/stop``, ``/status``, ``/sessions/<id>`` and ``/metrics``
+  (the :mod:`repro.obs` registry, with per-session counters namespaced
+  under ``service.session.<id>``).
+
+``repro-wigig serve`` runs the server from the shell;
+``benchmarks/bench_service_load.py`` is the load-test driver.  A session
+served over the wire with no control-plane interference is bit-identical
+to the same seeded spec run through the in-process sweep engine — the
+equivalence `tests/service/test_determinism.py` pins.
+"""
+
+from .client import ReceiverClient, http_request
+from .protocol import (
+    MAX_MESSAGE_BYTES,
+    encode_message,
+    read_message,
+    validate_control_message,
+)
+from .server import ServiceServer
+from .session import Broadcaster, ServedSession, SessionSpec
+
+__all__ = [
+    "Broadcaster",
+    "MAX_MESSAGE_BYTES",
+    "ReceiverClient",
+    "ServedSession",
+    "ServiceServer",
+    "SessionSpec",
+    "encode_message",
+    "http_request",
+    "read_message",
+    "validate_control_message",
+]

@@ -1,0 +1,225 @@
+"""Receiver-side client: the wire protocol caller and an HTTP helper.
+
+:class:`ReceiverClient` is the reference implementation of a receiver on
+the control plane — the load-test driver, the test suite and any external
+tool all speak through it.  A background reader task demultiplexes
+responses to their requests by ``seq`` (so concurrent requests on one
+connection are fine), measures per-request round-trip time, and latches
+unsolicited ``bye`` pushes so callers can notice a draining server.
+
+:func:`http_request` is a minimal one-shot asyncio HTTP/1.1 JSON call for
+the REST control plane (the server answers ``Connection: close``, so one
+connection per request is the protocol).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from time import perf_counter
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ProtocolError, ServiceError
+from .protocol import encode_message, read_message
+
+__all__ = ["ReceiverClient", "http_request"]
+
+#: Default per-request timeout; generous because a busy single-core event
+#: loop streams whole frames between scheduling opportunities.
+DEFAULT_TIMEOUT_S = 30.0
+
+
+class ReceiverClient:
+    """One receiver-plane connection with seq-correlated requests.
+
+    Use :meth:`connect` to construct::
+
+        client = await ReceiverClient.connect(host, port)
+        response, rtt_s = await client.join("s1", user=3)
+        ...
+        await client.close()
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_seq = 0
+        self._pending: Dict[int, "asyncio.Future[Dict[str, Any]]"] = {}
+        #: Set when the server pushes ``bye`` (drain announcement).
+        self.bye = asyncio.Event()
+        #: Set when the connection is gone (EOF, error, or close()).
+        self.closed = asyncio.Event()
+        self.protocol_errors = 0
+        self._read_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ReceiverClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    # ------------------------------------------------------------- requests
+
+    async def request(
+        self,
+        message: Dict[str, Any],
+        timeout: float = DEFAULT_TIMEOUT_S,
+    ) -> Tuple[Dict[str, Any], float]:
+        """Send one control message, await its response, measure the RTT.
+
+        Returns ``(response, rtt_seconds)``.  ``error`` responses raise
+        :class:`ServiceError` (the server rejected the message but the
+        connection survives unless the response was marked fatal).
+        """
+        if self.closed.is_set():
+            raise ServiceError("connection is closed")
+        seq = self._next_seq
+        self._next_seq += 1
+        message = dict(message)
+        message["seq"] = seq
+        future: "asyncio.Future[Dict[str, Any]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[seq] = future
+        t0 = perf_counter()
+        try:
+            self._writer.write(encode_message(message))
+            await self._writer.drain()
+            response = await asyncio.wait_for(future, timeout)
+        finally:
+            self._pending.pop(seq, None)
+        rtt = perf_counter() - t0
+        if response.get("type") == "error":
+            raise ServiceError(response.get("error", "request rejected"))
+        return response, rtt
+
+    async def join(
+        self, session: str, user: int, timeout: float = DEFAULT_TIMEOUT_S
+    ) -> Tuple[Dict[str, Any], float]:
+        return await self.request(
+            {"type": "join", "session": session, "user": user}, timeout
+        )
+
+    async def leave(
+        self, session: str, user: int, timeout: float = DEFAULT_TIMEOUT_S
+    ) -> Tuple[Dict[str, Any], float]:
+        return await self.request(
+            {"type": "leave", "session": session, "user": user}, timeout
+        )
+
+    async def feedback(
+        self,
+        session: str,
+        user: int,
+        fraction: float,
+        timeout: float = DEFAULT_TIMEOUT_S,
+    ) -> Tuple[Dict[str, Any], float]:
+        return await self.request(
+            {
+                "type": "feedback", "session": session,
+                "user": user, "fraction": fraction,
+            },
+            timeout,
+        )
+
+    async def ping(
+        self, timeout: float = DEFAULT_TIMEOUT_S
+    ) -> Tuple[Dict[str, Any], float]:
+        return await self.request({"type": "ping"}, timeout)
+
+    async def send_raw(self, payload: bytes) -> None:
+        """Write raw bytes (test hook for malformed-frame injection)."""
+        self._writer.write(payload)
+        await self._writer.drain()
+
+    # ----------------------------------------------------------- read loop
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                message = await read_message(self._reader)
+                if message is None:
+                    break
+                kind = message.get("type")
+                if kind == "bye":
+                    self.bye.set()
+                    continue
+                seq = message.get("seq")
+                future = self._pending.get(seq) if seq is not None else None
+                if future is not None and not future.done():
+                    future.set_result(message)
+                elif kind == "error" and message.get("fatal"):
+                    # Unsolicited fatal error (framing violation): the
+                    # server is about to drop us.
+                    self.protocol_errors += 1
+        except ProtocolError:
+            self.protocol_errors += 1
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self.closed.set()
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ServiceError("connection closed before response")
+                    )
+
+    # --------------------------------------------------------------- close
+
+    async def close(self) -> None:
+        """Close the connection and stop the reader task; idempotent."""
+        self._writer.close()
+        self._read_task.cancel()
+        try:
+            await self._read_task
+        except asyncio.CancelledError:
+            pass
+        self.closed.set()
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[Dict[str, Any]] = None,
+    timeout: float = DEFAULT_TIMEOUT_S,
+) -> Tuple[int, Dict[str, Any]]:
+    """One JSON-in / JSON-out call against the REST control plane.
+
+    Returns ``(status_code, parsed_body)``.  The control plane closes the
+    connection after each response, so the reply is read to EOF.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        blob = (
+            json.dumps(body, sort_keys=True).encode("utf-8")
+            if body is not None else b""
+        )
+        head = (
+            f"{method.upper()} {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(blob)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + blob)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout)
+    finally:
+        writer.close()
+    status_line, _, _ = raw.partition(b"\r\n")
+    parts = status_line.split()
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise ServiceError(
+            f"malformed HTTP response from control plane: {status_line!r}"
+        )
+    status = int(parts[1])
+    _, _, payload = raw.partition(b"\r\n\r\n")
+    parsed = json.loads(payload.decode("utf-8")) if payload.strip() else {}
+    if not isinstance(parsed, dict):
+        raise ServiceError("control plane response was not a JSON object")
+    return status, parsed

@@ -1,0 +1,143 @@
+"""Receiver control-plane wire protocol: length-prefixed JSON frames.
+
+One message is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON encoding a single object::
+
+    \\x00\\x00\\x00\\x2a{"type": "join", "session": "s1", "user": 2}
+
+The object must carry a string ``type``.  Client -> server types are
+``join`` / ``leave`` / ``feedback`` / ``ping``; the server answers each
+with exactly one response (``joined`` / ``left`` / ``feedback_ack`` /
+``pong`` / ``error``) echoing the request's ``seq`` when present, so
+clients can correlate responses and measure round-trip latency.  On
+shutdown the server pushes an unsolicited ``bye`` and stops reading.
+
+Framing violations — a payload longer than :data:`MAX_MESSAGE_BYTES`,
+invalid JSON, a non-object payload, or a missing ``type`` — raise
+:class:`repro.errors.ProtocolError`.  A clean EOF between frames returns
+``None``; an EOF *inside* a frame (truncated message) is a protocol error
+too, because silently dropping a half-received control message would
+desynchronize membership.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, Optional
+
+from ..errors import ProtocolError
+
+__all__ = [
+    "MAX_MESSAGE_BYTES",
+    "CONTROL_TYPES",
+    "encode_message",
+    "read_message",
+    "validate_control_message",
+]
+
+#: Upper bound on one message's JSON payload; anything larger is hostile
+#: or corrupt (a join/feedback message is tens of bytes).
+MAX_MESSAGE_BYTES = 64 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+#: Client -> server message types and the fields each requires.
+CONTROL_TYPES: Dict[str, tuple] = {
+    "join": ("session", "user"),
+    "leave": ("session", "user"),
+    "feedback": ("session", "user"),
+    "ping": (),
+}
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """Serialize one message object to its wire frame."""
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(message).__name__}"
+        )
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(payload)} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte frame limit"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+async def read_message(
+    reader: asyncio.StreamReader,
+) -> Optional[Dict[str, Any]]:
+    """Read one framed message; ``None`` on clean EOF between frames."""
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)} of "
+            f"{_LENGTH.size} length bytes received)"
+        ) from exc
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"declared payload of {length} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte frame limit"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)} of "
+            f"{length} payload bytes received)"
+        ) from exc
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"invalid JSON payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"payload must be a JSON object, got {type(message).__name__}"
+        )
+    if not isinstance(message.get("type"), str):
+        raise ProtocolError("message is missing a string 'type' field")
+    return message
+
+
+def validate_control_message(message: Dict[str, Any]) -> str:
+    """Check a client message against :data:`CONTROL_TYPES`.
+
+    Returns the message type; raises :class:`ProtocolError` for unknown
+    types or missing/ill-typed required fields, so the server can reject
+    malformed control traffic with a precise error instead of crashing a
+    session handler deeper in.
+    """
+    kind = message["type"]
+    required = CONTROL_TYPES.get(kind)
+    if required is None:
+        raise ProtocolError(
+            f"unknown control message type {kind!r} "
+            f"(known: {', '.join(sorted(CONTROL_TYPES))})"
+        )
+    for field in required:
+        if field not in message:
+            raise ProtocolError(
+                f"{kind!r} message is missing required field {field!r}"
+            )
+    if "session" in required and not isinstance(message["session"], str):
+        raise ProtocolError(
+            f"{kind!r} message field 'session' must be a string"
+        )
+    if "user" in required and not isinstance(message["user"], int):
+        raise ProtocolError(f"{kind!r} message field 'user' must be an int")
+    if kind == "feedback":
+        fraction = message.get("fraction", 1.0)
+        if not isinstance(fraction, (int, float)) or isinstance(fraction, bool):
+            raise ProtocolError("'feedback' field 'fraction' must be a number")
+        if not 0.0 <= float(fraction) <= 1.0:
+            raise ProtocolError(
+                f"'feedback' fraction {fraction} outside [0, 1]"
+            )
+    return kind

@@ -7,6 +7,7 @@ that packages can interoperate without importing each other's internals.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -252,6 +253,28 @@ class OutcomeStats:
     def ssim_series(self, user_id: int) -> List[float]:
         """Per-frame SSIM of one user, in frame order."""
         return [s.ssim for s in self._per_user_index().get(user_id, [])]
+
+    def fingerprint(self) -> str:
+        """A bit-exact, order-independent digest of the per-frame stats.
+
+        Floats are hex-encoded before hashing, so two outcomes share a
+        fingerprint iff every (frame, user) stat matches bitwise — the
+        contract the chaos determinism check and the service layer's
+        served-vs-in-process equivalence both assert.
+        """
+        rows = sorted(
+            (
+                s.frame_index,
+                s.user_id,
+                float(s.ssim).hex(),
+                float(s.psnr_db).hex(),
+                tuple(float(b).hex() for b in s.bytes_received_per_layer),
+                s.deadline_met,
+            )
+            for s in self.stats
+        )
+        digest = hashlib.sha256(repr(rows).encode("utf-8"))
+        return digest.hexdigest()
 
 
 def validate_seed(seed: Optional[int]) -> np.random.Generator:

@@ -1,0 +1,129 @@
+"""Wire-protocol framing and control-message validation."""
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.service import (
+    MAX_MESSAGE_BYTES,
+    encode_message,
+    read_message,
+    validate_control_message,
+)
+
+
+def _read(payload: bytes):
+    """Feed raw bytes into a StreamReader and read one message."""
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(payload)
+        reader.feed_eof()
+        return await read_message(reader)
+
+    return asyncio.run(run())
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"type": "join", "session": "s1", "user": 3, "seq": 9}
+        assert _read(encode_message(message)) == message
+
+    def test_two_messages_back_to_back(self):
+        first = encode_message({"type": "ping", "seq": 0})
+        second = encode_message({"type": "ping", "seq": 1})
+
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(first + second)
+            reader.feed_eof()
+            return [await read_message(reader), await read_message(reader),
+                    await read_message(reader)]
+
+        a, b, eof = asyncio.run(run())
+        assert (a["seq"], b["seq"]) == (0, 1)
+        assert eof is None
+
+    def test_clean_eof_returns_none(self):
+        assert _read(b"") is None
+
+    def test_eof_mid_header_raises(self):
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            _read(b"\x00\x00")
+
+    def test_eof_mid_payload_raises(self):
+        frame = encode_message({"type": "ping"})
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            _read(frame[:-2])
+
+    def test_oversize_declared_length_rejected(self):
+        header = struct.pack(">I", MAX_MESSAGE_BYTES + 1)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            _read(header)
+
+    def test_invalid_json_rejected(self):
+        payload = b"{nope"
+        with pytest.raises(ProtocolError, match="invalid JSON"):
+            _read(struct.pack(">I", len(payload)) + payload)
+
+    def test_non_object_payload_rejected(self):
+        payload = json.dumps([1, 2, 3]).encode()
+        with pytest.raises(ProtocolError, match="JSON object"):
+            _read(struct.pack(">I", len(payload)) + payload)
+
+    def test_missing_type_rejected(self):
+        payload = json.dumps({"session": "s1"}).encode()
+        with pytest.raises(ProtocolError, match="'type'"):
+            _read(struct.pack(">I", len(payload)) + payload)
+
+    def test_encode_rejects_oversize_message(self):
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_message({"type": "x", "blob": "a" * MAX_MESSAGE_BYTES})
+
+    def test_encode_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="object"):
+            encode_message(["type", "ping"])
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "message, kind",
+        [
+            ({"type": "ping"}, "ping"),
+            ({"type": "join", "session": "s1", "user": 0}, "join"),
+            ({"type": "leave", "session": "s1", "user": 2}, "leave"),
+            ({"type": "feedback", "session": "s1", "user": 1,
+              "fraction": 0.5}, "feedback"),
+        ],
+    )
+    def test_valid_messages(self, message, kind):
+        assert validate_control_message(message) == kind
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown control message"):
+            validate_control_message({"type": "subscribe"})
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ProtocolError, match="missing required field"):
+            validate_control_message({"type": "join", "session": "s1"})
+
+    def test_ill_typed_session_rejected(self):
+        with pytest.raises(ProtocolError, match="'session'"):
+            validate_control_message({"type": "join", "session": 1, "user": 0})
+
+    def test_ill_typed_user_rejected(self):
+        with pytest.raises(ProtocolError, match="'user'"):
+            validate_control_message(
+                {"type": "leave", "session": "s1", "user": "zero"}
+            )
+
+    @pytest.mark.parametrize("fraction", [-0.1, 1.5, True, "half"])
+    def test_bad_feedback_fraction_rejected(self, fraction):
+        with pytest.raises(ProtocolError, match="fraction"):
+            validate_control_message(
+                {"type": "feedback", "session": "s1", "user": 0,
+                 "fraction": fraction}
+            )

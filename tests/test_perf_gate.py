@@ -34,6 +34,12 @@ def _report(scale: float = 1.0, **overrides) -> dict:
             "persistent_vs_fork_ratio": 1.1,
             "merged_identical": True,
         },
+        "service_load": {
+            "control_msgs_per_s": 15.0 * scale,
+            "zero_dropped": True,
+            "membership_reflected": True,
+            "clean_shutdown": True,
+        },
     }
     for dotted, value in overrides.items():
         stage, key = dotted.split(".")
@@ -125,6 +131,19 @@ class TestCompare:
             if f["flag"] == "sweep_shard.persistent_not_slower_than_fork"
         ]
         assert not flag["ok"]
+
+    @pytest.mark.parametrize(
+        "flag",
+        ["zero_dropped", "membership_reflected", "clean_shutdown"],
+    )
+    def test_service_load_flag_failure_fails_gate(self, flag):
+        candidate = _report(**{f"service_load.{flag}": False})
+        result = perf_gate.compare(_report(), candidate)
+        assert not result["passed"]
+        (bad,) = [
+            f for f in result["flags"] if f["flag"] == f"service_load.{flag}"
+        ]
+        assert not bad["ok"]
 
     def test_persistent_pool_within_tolerance_passes_gate(self):
         candidate = _report(**{"sweep_shard.persistent_vs_fork_ratio": 0.85})
