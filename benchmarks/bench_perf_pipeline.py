@@ -38,6 +38,7 @@ if str(REPO_ROOT / "benchmarks") not in sys.path:
 
 import numpy as np
 
+from bench_multi_ap import bench_multi_ap
 from bench_scale_users import USER_COUNTS_FULL, USER_COUNTS_QUICK, bench_emulation_scale
 from bench_service_load import bench_service_load
 from bench_sweep_shard import bench_sweep_shard
@@ -311,27 +312,27 @@ def main(argv=None) -> int:
         jig_frames, repair, blocks, ssim_repeats = 24, 2000, 200, 60
     structure = LayerStructure(height=height, width=width)
 
-    print(f"[1/9] jigsaw encode ({height}x{width}, {jig_frames} frames)")
+    print(f"[1/10] jigsaw encode ({height}x{width}, {jig_frames} frames)")
     jigsaw = bench_jigsaw_encode(height, width, jig_frames, jobs)
-    print(f"[2/9] fountain encode ({repair} repair symbols)")
+    print(f"[2/10] fountain encode ({repair} repair symbols)")
     fountain_encode = bench_fountain_encode(structure, repair)
-    print(f"[3/9] fountain decode ({blocks} blocks)")
+    print(f"[3/10] fountain decode ({blocks} blocks)")
     fountain_decode = bench_fountain_decode(structure, blocks)
-    print(f"[4/9] ssim ({ssim_repeats} frames)")
+    print(f"[4/10] ssim ({ssim_repeats} frames)")
     ssim_stage = bench_ssim(height, width, ssim_repeats)
-    print("[5/9] decoded-frame byte identity (seed vs optimized codec)")
+    print("[5/10] decoded-frame byte identity (seed vs optimized codec)")
     frames_identical = check_decoded_frames_identical(structure)
-    print(f"[6/9] emulation ({runs}-run scheduler comparison, jobs={jobs})")
+    print(f"[6/10] emulation ({runs}-run scheduler comparison, jobs={jobs})")
     emulation = bench_emulation(args.quick, runs, frames, users=4, jobs=jobs)
     emulation["decoded_frames_identical"] = frames_identical
     scale_counts = USER_COUNTS_QUICK if args.quick else USER_COUNTS_FULL
-    print(f"[7/9] emulation scale (cohort sweep to {scale_counts[-1]} users)")
+    print(f"[7/10] emulation scale (cohort sweep to {scale_counts[-1]} users)")
     emulation_scale = bench_emulation_scale(
         _context(args.quick), scale_counts, frames
     )
     sweep_runs = 8 if args.quick else 12
     sweep_frames = 2 if args.quick else 3
-    print(f"[8/9] sharded sweep ({sweep_runs} runs on persistent pool, "
+    print(f"[8/10] sharded sweep ({sweep_runs} runs on persistent pool, "
           f"jobs={min(jobs, 2)})")
     sweep_shard = bench_sweep_shard(
         _context(args.quick), sweep_runs, sweep_frames,
@@ -340,10 +341,19 @@ def main(argv=None) -> int:
     svc_sessions = 4 if args.quick else 8
     svc_receivers = 52 if args.quick else 104
     svc_churn = 40 if args.quick else 80
-    print(f"[9/9] service load ({svc_receivers} receivers across "
+    print(f"[9/10] service load ({svc_receivers} receivers across "
           f"{svc_sessions} sessions)")
     service_load = bench_service_load(
         _context(args.quick), svc_sessions, svc_receivers, svc_churn,
+    )
+    ap_runs = 2 if args.quick else 3
+    ap_frames = 6 if args.quick else 9
+    ap_depths = (0.0, 25.0) if args.quick else (0.0, 10.0, 25.0)
+    print(f"[10/10] multi-AP failover (1 vs 2 APs, {ap_runs} runs, "
+          f"depths {ap_depths} dB)")
+    multi_ap = bench_multi_ap(
+        _context(args.quick), ap_depths, runs=ap_runs, frames=ap_frames,
+        jobs=jobs,
     )
 
     report = {
@@ -365,6 +375,7 @@ def main(argv=None) -> int:
             "emulation_scale": emulation_scale,
             "sweep_shard": sweep_shard,
             "service_load": service_load,
+            "multi_ap": multi_ap,
         },
         "acceptance": {
             "fountain_repair_encode_speedup": fountain_encode["speedup_vs_seed"],
@@ -380,6 +391,8 @@ def main(argv=None) -> int:
             "service_zero_dropped": service_load["zero_dropped"],
             "service_membership_reflected": service_load["membership_reflected"],
             "service_clean_shutdown": service_load["clean_shutdown"],
+            "two_ap_ssim_not_worse_under_blockage":
+                multi_ap["two_ap_ssim_not_worse_under_blockage"],
         },
     }
     path = write_bench_report(args.output, report)
@@ -415,6 +428,10 @@ def main(argv=None) -> int:
           f"{service_load['sessions']} sessions, "
           f"RTT p95 {service_load['feedback_rtt_p95_s']:.4f} s, "
           f"dropped {service_load['dropped_msgs']})")
+    print(f"multi-AP failover    : "
+          f"{multi_ap['two_ap_advantage_at_max_depth']:+8.4f} SSIM for 2 APs "
+          f"at {max(multi_ap['depths_db']):g} dB blockage "
+          f"(not worse: {multi_ap['two_ap_ssim_not_worse_under_blockage']})")
     print(f"metrics identical    : {emulation['metrics_identical']}"
           f" (scale: {emulation_scale['metrics_identical']}, "
           f"sweep: {sweep_shard['merged_identical']})")
@@ -426,7 +443,8 @@ def main(argv=None) -> int:
           and sweep_shard["merged_identical"]
           and service_load["zero_dropped"]
           and service_load["membership_reflected"]
-          and service_load["clean_shutdown"])
+          and service_load["clean_shutdown"]
+          and multi_ap["two_ap_ssim_not_worse_under_blockage"])
     return 0 if ok else 1
 
 

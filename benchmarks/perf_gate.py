@@ -50,6 +50,7 @@ REQUIRED_FLAGS = (
     ("service_load", "zero_dropped"),
     ("service_load", "membership_reflected"),
     ("service_load", "clean_shutdown"),
+    ("multi_ap", "two_ap_ssim_not_worse_under_blockage"),
 )
 
 DEFAULT_TOLERANCE = 0.30

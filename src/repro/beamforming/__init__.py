@@ -11,7 +11,14 @@ Implements the four schemes compared throughout the paper's evaluation
 """
 
 from .codebook import SectorCodebook
-from .multicast import max_min_gain, max_min_multicast_beam, svd_multicast_beam
+from .multicast import (
+    max_min_gain,
+    max_min_gain_batch,
+    max_min_multicast_beam,
+    per_user_gains,
+    per_user_gains_batch,
+    svd_multicast_beam,
+)
 from .sls import sector_sweep
 from .selection import BeamPlan, GroupBeamPlanner
 
@@ -21,6 +28,9 @@ __all__ = [
     "svd_multicast_beam",
     "max_min_multicast_beam",
     "max_min_gain",
+    "max_min_gain_batch",
+    "per_user_gains",
+    "per_user_gains_batch",
     "GroupBeamPlanner",
     "BeamPlan",
 ]

@@ -134,3 +134,52 @@ def per_user_gains(beam: np.ndarray, channels: Sequence[np.ndarray]) -> np.ndarr
     return np.array(
         [float(np.abs(np.vdot(beam, np.asarray(h, dtype=complex))) ** 2) for h in channels]
     )
+
+
+def per_user_gains_batch(
+    beams: Sequence[np.ndarray],
+    channel_groups: Sequence[Sequence[np.ndarray]],
+) -> List[np.ndarray]:
+    """Per-user gains for many ``(beam, group)`` pairs at once.
+
+    Stacks every group's channels into one matrix and evaluates all
+    beam/channel pairs with a single matmul, then slices each group's rows
+    back out.  Numerically this is the BLAS gemm path, which can differ
+    from the scalar :func:`per_user_gains` ``vdot`` loop by 1-2 ulp — so
+    this batch is for *new* bulk consumers (multi-AP repair planning,
+    association scans), not a drop-in for golden-pinned scalar paths.
+    """
+    if len(beams) != len(channel_groups):
+        raise BeamformingError(
+            f"{len(beams)} beams for {len(channel_groups)} channel groups"
+        )
+    if not beams:
+        return []
+    sizes = [len(group) for group in channel_groups]
+    if any(size == 0 for size in sizes):
+        raise BeamformingError("empty channel group in batch")
+    stacked = np.vstack(
+        [np.asarray(h, dtype=complex) for group in channel_groups for h in group]
+    )
+    beam_matrix = np.vstack([np.asarray(b, dtype=complex) for b in beams])
+    if beam_matrix.shape[1] != stacked.shape[1]:
+        raise BeamformingError(
+            f"beam length {beam_matrix.shape[1]} != channel length {stacked.shape[1]}"
+        )
+    # (total_users, n_groups) matrix of |F_g^H h_i|^2 in one matmul.
+    all_gains = np.abs(np.conj(stacked) @ beam_matrix.T) ** 2
+    out: List[np.ndarray] = []
+    offset = 0
+    for index, size in enumerate(sizes):
+        out.append(np.ascontiguousarray(all_gains[offset:offset + size, index]))
+        offset += size
+    return out
+
+
+def max_min_gain_batch(
+    beams: Sequence[np.ndarray],
+    channel_groups: Sequence[Sequence[np.ndarray]],
+) -> np.ndarray:
+    """Bottleneck gain per ``(beam, group)`` pair, batched."""
+    gains = per_user_gains_batch(beams, channel_groups)
+    return np.array([float(np.min(g)) for g in gains])

@@ -20,7 +20,7 @@ from ..phy.channel import ChannelState, LinkBudget
 from ..phy.mcs import McsEntry, highest_supported_mcs
 from ..types import BeamformingScheme
 from .codebook import SectorCodebook
-from .multicast import max_min_multicast_beam, per_user_gains
+from .multicast import max_min_multicast_beam, per_user_gains, per_user_gains_batch
 
 
 @dataclass(frozen=True)
@@ -122,3 +122,37 @@ class GroupBeamPlanner:
             mcs=mcs,
             rate_mbps=rate,
         )
+
+    def plan_groups(
+        self, state: ChannelState, groups: Sequence[Sequence[int]]
+    ) -> list:
+        """Beam plans for many candidate groups, gains batched.
+
+        Beam *synthesis* stays per group (the max-min ascent is iterative),
+        but gain evaluation — the planner's inner loop — collapses to one
+        stacked matmul over every (beam, member) pair via
+        :func:`per_user_gains_batch`.  Gains can differ from the scalar
+        :meth:`plan_group` path by 1-2 ulp (BLAS gemm vs ``vdot``), so this
+        entry point serves new bulk consumers (multi-AP repair planning);
+        the golden-pinned single-AP enumeration keeps the scalar path.
+        """
+        ordered = [tuple(sorted(g)) for g in groups]
+        channel_groups = [[state.channels[u] for u in users] for users in ordered]
+        beams = [self.beam_for_group(chans) for chans in channel_groups]
+        gain_groups = per_user_gains_batch(beams, channel_groups)
+        plans = []
+        for users, beam, gains in zip(ordered, beams, gain_groups):
+            rss = {u: self.budget.rss_dbm(float(g)) for u, g in zip(users, gains)}
+            min_rss = min(rss.values())
+            mcs = highest_supported_mcs(min_rss - self.mcs_backoff_db)
+            plans.append(
+                BeamPlan(
+                    user_ids=users,
+                    beam=beam,
+                    per_user_rss_dbm=rss,
+                    min_rss_dbm=min_rss,
+                    mcs=mcs,
+                    rate_mbps=float(mcs.udp_throughput_mbps) if mcs else 0.0,
+                )
+            )
+        return plans

@@ -30,6 +30,7 @@ import numpy as np
 from . import obs
 from .core import MulticastStreamer
 from .emulation import (
+    ap_fault_grid,
     build_context,
     fault_grid,
     parse_config_overrides,
@@ -42,6 +43,19 @@ from .emulation import (
 )
 from .emulation.runner import trace_for_placement
 from .emulation.stats import print_table, summarize
+
+#: Named --fault-base bundles for common chaos campaigns.  The
+#: ``blockage_failover`` preset is the deep-LoS-blockage base of the
+#: 1-AP-vs-2-AP failover curve: long, deep bursts an AP cannot ride out
+#: alone, so resilience has to come from the second AP.
+FAULT_BASE_PRESETS = {
+    "blockage_failover": {
+        "faults.seed": "11",
+        "faults.blockage_rate_hz": "6",
+        "faults.blockage_duration_s": "0.3",
+        "faults.blockage_depth_db": "25",
+    },
+}
 
 
 def _placement(args) -> tuple:
@@ -125,6 +139,14 @@ def _cmd_sweep(args) -> int:
     value of a :class:`repro.faults.FaultConfig` knob; fault campaigns go
     through the same sharded scheduler as any other variant set (their
     overrides canonicalize into the checkpoint's campaign hash).
+
+    ``--ap-grid 1,2`` crosses the fault grid with AP counts — the
+    blockage-failover comparison (arXiv:1711.06154's multi-link resilience)
+    in one command::
+
+        repro-wigig sweep --fault-grid blockage_rate_hz \\
+            --fault-values 0,1,2,4 --fault-base preset:blockage_failover \\
+            --ap-grid 1,2
     """
     from .emulation import run_sharded_sweep, write_results_json
     from .emulation.shard import CampaignSpec
@@ -142,6 +164,16 @@ def _cmd_sweep(args) -> int:
             return 2
         base = {}
         for item in args.fault_base:
+            if item.startswith("preset:"):
+                preset = item[len("preset:"):].strip()
+                if preset not in FAULT_BASE_PRESETS:
+                    print(
+                        f"unknown --fault-base preset {preset!r} "
+                        f"(known: {', '.join(sorted(FAULT_BASE_PRESETS))})"
+                    )
+                    return 2
+                base.update(FAULT_BASE_PRESETS[preset])
+                continue
             key, sep, value = item.partition("=")
             if not sep or not key.strip():
                 print(f"bad --fault-base {item!r} (expected field=value)")
@@ -151,9 +183,17 @@ def _cmd_sweep(args) -> int:
                 key = f"faults.{key}"
             base[key] = value.strip()
         values = [v.strip() for v in args.fault_values.split(",") if v.strip()]
-        variants.extend(fault_grid(args.fault_grid, values, base))
-    elif args.fault_values or args.fault_base:
-        print("--fault-values/--fault-base require --fault-grid AXIS")
+        if args.ap_grid is not None:
+            ap_counts = [
+                int(v) for v in args.ap_grid.split(",") if v.strip()
+            ]
+            variants.extend(
+                ap_fault_grid(args.fault_grid, values, ap_counts, base)
+            )
+        else:
+            variants.extend(fault_grid(args.fault_grid, values, base))
+    elif args.fault_values or args.fault_base or args.ap_grid:
+        print("--fault-values/--fault-base/--ap-grid require --fault-grid AXIS")
         return 2
     if not variants:
         print("need at least one arm: --variant and/or --fault-grid")
@@ -449,9 +489,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--fault-base", action="append", default=[],
-        metavar="FIELD=VALUE",
+        metavar="FIELD=VALUE|preset:NAME",
         help="FaultConfig override shared by every --fault-grid arm "
-             "(repeat for more)",
+             "(repeat for more); preset:blockage_failover expands to the "
+             "deep-LoS-blockage base used by the multi-AP failover curve",
+    )
+    p.add_argument(
+        "--ap-grid", default=None, metavar="N[,N,...]",
+        help="cross --fault-grid with these AP counts (e.g. 1,2): one "
+             "<n>ap:<axis>=<value> arm per combination, all sharing one "
+             "superset trace per placement",
     )
     p.add_argument(
         "--shards", type=int, default=None, metavar="N",

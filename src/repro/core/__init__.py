@@ -26,6 +26,12 @@ from .pipeline import (
     Transmitter,
     default_stages,
 )
+from .multi_ap import (
+    MultiApCodingGroupMapper,
+    MultiApPlanner,
+    MultiApTransmitter,
+    multi_ap_stages,
+)
 from .policy import (
     AdaptationStrategy,
     BeamTrackingStrategy,
@@ -50,6 +56,10 @@ __all__ = [
     "FeedbackUpdater",
     "Scorer",
     "default_stages",
+    "MultiApPlanner",
+    "MultiApCodingGroupMapper",
+    "MultiApTransmitter",
+    "multi_ap_stages",
     "AdaptationStrategy",
     "RealtimeUpdateStrategy",
     "BeamTrackingStrategy",

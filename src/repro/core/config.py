@@ -7,6 +7,7 @@ from typing import Mapping, Optional
 
 from ..errors import ConfigurationError
 from ..faults.config import FaultConfig
+from ..phy.topology import TopologyConfig, coerce_topology
 from ..types import AdaptationPolicy, BeamformingScheme, SchedulerKind
 
 #: True 4K pixel count; reduced-resolution emulation scales link rates by
@@ -56,6 +57,12 @@ class SystemConfig:
             All rates default to zero, so the default config streams
             fault-free and bit-identically to earlier versions; a mapping
             is accepted and coerced (JSON/CLI-driven construction).
+        topology: Optional multi-AP block
+            (:class:`repro.phy.TopologyConfig`).  ``None`` (default) or
+            ``num_aps == 1`` streams through the single-AP pipeline
+            bit-identically to earlier versions; ``num_aps > 1`` enables
+            AP association, handover and cross-AP coded repair.  A mapping
+            is accepted and coerced.
     """
 
     height: int = 288
@@ -85,10 +92,12 @@ class SystemConfig:
     retransmit_reserve: float = 0.15
     no_update_beam_tracking: bool = True
     faults: FaultConfig = field(default_factory=FaultConfig)
+    topology: Optional[TopologyConfig] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.faults, Mapping):
             self.faults = FaultConfig(**self.faults)
+        self.topology = coerce_topology(self.topology)
         if self.height % 16 or self.width % 16:
             raise ConfigurationError(
                 f"resolution must be multiples of 16, got {self.height}x{self.width}"
@@ -131,3 +140,13 @@ class SystemConfig:
     def frames_per_beacon(self) -> int:
         """Video frames between consecutive re-optimizations."""
         return max(1, int(round(self.beacon_interval_s * self.fps)))
+
+    @property
+    def num_aps(self) -> int:
+        """Access points the configured topology asks for (1 when absent)."""
+        return self.topology.num_aps if self.topology is not None else 1
+
+    @property
+    def multi_ap(self) -> bool:
+        """Whether the multi-AP pipeline is active."""
+        return self.num_aps > 1

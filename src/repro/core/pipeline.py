@@ -39,6 +39,7 @@ from ..types import FrameStats, OutcomeStats
 from ..video.jigsaw import SUBLAYER_COUNTS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..beamforming import BeamPlan
     from ..phy.csi import CsiTrace
     from ..scheduling.coding_groups import UnitAssignment
     from ..transport.transmitter import TransmissionResult
@@ -107,6 +108,13 @@ class FrameContext:
     result: Optional["TransmissionResult"] = None
     deadline_met: bool = True
     span: Optional[object] = None
+    # Multi-AP extensions (populated only by repro.core.multi_ap stages;
+    # single-AP sessions leave them None).  Indexed by AP id where listed.
+    ap_allocations: Optional[List[Optional[AllocationResult]]] = None
+    ap_assignments: Optional[List[Optional[Sequence["UnitAssignment"]]]] = None
+    ap_users: Optional[List[List[int]]] = None
+    association: Optional[Dict[int, int]] = None
+    repair_plans: Optional[Dict[int, Tuple[int, "BeamPlan"]]] = None
 
 
 class PipelineStage(Protocol):
@@ -456,9 +464,20 @@ class StreamSession:
         self.strategy = (
             strategy if strategy is not None else strategy_for(streamer.config)
         )
-        self.stages: List[PipelineStage] = (
-            list(stages) if stages is not None else default_stages()
-        )
+        if stages is not None:
+            self.stages: List[PipelineStage] = list(stages)
+        elif self.config.multi_ap:
+            if trace.n_aps < self.config.num_aps:
+                raise ConfigurationError(
+                    f"config asks for {self.config.num_aps} APs but the "
+                    f"trace carries channels for {trace.n_aps}; record it "
+                    f"with num_aps={self.config.num_aps}"
+                )
+            from .multi_ap import multi_ap_stages
+
+            self.stages = multi_ap_stages()
+        else:
+            self.stages = default_stages()
         self.faults = faults
         self._previous_active: Optional[Tuple[int, ...]] = None
         #: Full membership the trace was recorded for; external joins may
@@ -562,6 +581,7 @@ class StreamSession:
                 self.config.faults,
                 total_frames / self.config.fps,
                 self.users,
+                n_aps=self.config.num_aps,
             )
 
     def _begin_frame_faults(self, ctx: FrameContext) -> bool:

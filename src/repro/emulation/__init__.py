@@ -13,7 +13,9 @@ from .scenario import EmulationScenario
 from .stats import BoxStats, summarize
 from .sweep import (
     Variant,
+    ap_fault_grid,
     fault_grid,
+    sweep_num_aps,
     merge_runs,
     parse_config_overrides,
     run_session_sweep,
@@ -53,6 +55,8 @@ __all__ = [
     "variant_from_spec",
     "parse_config_overrides",
     "fault_grid",
+    "ap_fault_grid",
+    "sweep_num_aps",
     "merge_runs",
     "run_variant_sweep",
     "run_session_sweep",

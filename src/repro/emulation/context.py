@@ -128,9 +128,16 @@ def trace_for_placement(
     num_users: int,
     placement: Tuple,
     run_seed: int,
+    num_aps: int = 1,
 ) -> CsiTrace:
     """Build a static trace for an ('arc', d, mas) or ('range', d0, d1, mas)
-    placement spec."""
+    placement spec.
+
+    With ``num_aps > 1`` the trace carries per-AP channels for every AP of
+    the room's default topology; AP0's sub-trace is bit-identical to the
+    ``num_aps=1`` trace, so one superset trace can serve both the 1-AP and
+    multi-AP arms of a comparison.
+    """
     kind = placement[0]
     if kind == "arc":
         _, distance, mas = placement
@@ -142,4 +149,6 @@ def trace_for_placement(
         )
     else:
         raise EmulationError(f"unknown placement kind {kind!r}")
-    return ctx.scenario.static_trace(positions, duration_s=1.0, seed=run_seed + 1)
+    return ctx.scenario.static_trace(
+        positions, duration_s=1.0, seed=run_seed + 1, num_aps=num_aps
+    )

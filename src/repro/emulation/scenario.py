@@ -19,7 +19,7 @@ import numpy as np
 
 from ..errors import EmulationError
 from ..phy.antenna import PhasedArray
-from ..phy.channel import ChannelModel
+from ..phy.channel import ChannelModel, ChannelState
 from ..phy.csi import CsiEstimator, CsiSnapshot, CsiTrace
 from ..phy.mobility import BEACON_INTERVAL_S, EnvironmentMotionModel, RandomWalkModel
 from ..phy.propagation import HUMAN_BLOCKAGE_DB
@@ -29,6 +29,7 @@ from ..phy.raytracer import (
     place_users_arc,
     place_users_random_range,
 )
+from ..phy.topology import Topology
 from ..types import Position, validate_seed
 
 
@@ -60,6 +61,29 @@ class EmulationScenario:
         self.channel_model = ChannelModel(self.tracer, self.array)
         self.estimator = CsiEstimator(self.csi_error_std)
         self._rng = validate_seed(self.seed)
+        self._ap_models: Dict[int, List[ChannelModel]] = {}
+
+    # ------------------------------------------------------------- topologies
+
+    def topology(self, num_aps: int) -> Topology:
+        """The wall-midpoint topology for ``num_aps`` APs (AP 0 = legacy AP)."""
+        return Topology.for_room(self.room, num_aps, first_ap=self.ap_position)
+
+    def ap_channel_models(self, num_aps: int) -> List[ChannelModel]:
+        """Per-AP channel models, AP 0 first (entry 0 is the legacy model).
+
+        Extra APs share the same array geometry and link budget; only the
+        tracer (AP position + boresight) differs.  Models are cached per
+        AP count so repeated trace generation reuses the same tracers.
+        """
+        if num_aps not in self._ap_models:
+            topo = self.topology(num_aps)
+            models = [self.channel_model]
+            for ap in topo.aps[1:]:
+                tracer = RayTracer(self.room, ap.position, ap.boresight_rad)
+                models.append(ChannelModel(tracer, self.array))
+            self._ap_models[num_aps] = models
+        return self._ap_models[num_aps]
 
     # ------------------------------------------------------------ placements
 
@@ -95,16 +119,54 @@ class EmulationScenario:
         positions: Sequence[Position],
         duration_s: float = 1.0,
         seed: int = 0,
+        num_aps: int = 1,
     ) -> CsiTrace:
-        """CSI trace for stationary users (fading still varies per beacon)."""
-        rng = validate_seed(seed)
+        """CSI trace for stationary users (fading still varies per beacon).
+
+        With ``num_aps > 1`` each snapshot also carries per-AP channel dicts
+        (:attr:`ChannelState.ap_channels`).  Each AP draws its shadowing and
+        CSI-estimation noise from its own seeded stream — AP 0 keeps the
+        exact single-AP stream (``validate_seed(seed)``), extra APs use
+        ``default_rng([seed, ap])`` — so the AP 0 sub-trace of an N-AP
+        trace is bit-identical to a 1-AP trace at the same seed: one
+        superset trace serves 1-AP and N-AP arms under identical channel
+        conditions.
+        """
         receivers = {i: p for i, p in enumerate(positions)}
         trace = CsiTrace(beacon_interval_s=BEACON_INTERVAL_S)
-        for tick in range(max(1, int(round(duration_s / BEACON_INTERVAL_S)))):
+        ticks = max(1, int(round(duration_s / BEACON_INTERVAL_S)))
+        if num_aps <= 1:
+            rng = validate_seed(seed)
+            for tick in range(ticks):
+                now = tick * BEACON_INTERVAL_S
+                state = self.channel_model.snapshot(receivers, rng, time_s=now)
+                trace.append(
+                    CsiSnapshot(now, state, self.estimator.estimate_state(state, rng))
+                )
+            return trace
+        if not isinstance(seed, (int, np.integer)) or seed < 0:
+            raise EmulationError(
+                f"multi-AP traces need a non-negative int seed, got {seed!r}"
+            )
+        models = self.ap_channel_models(num_aps)
+        rngs = [validate_seed(seed)] + [
+            np.random.default_rng([seed, ap]) for ap in range(1, num_aps)
+        ]
+        for tick in range(ticks):
             now = tick * BEACON_INTERVAL_S
-            state = self.channel_model.snapshot(receivers, rng, time_s=now)
+            ap_true: List[Dict[int, np.ndarray]] = []
+            ap_est: List[Dict[int, np.ndarray]] = []
+            for model, ap_rng in zip(models, rngs):
+                state = model.snapshot(receivers, ap_rng, time_s=now)
+                estimate = self.estimator.estimate_state(state, ap_rng)
+                ap_true.append(state.channels)
+                ap_est.append(estimate.channels)
             trace.append(
-                CsiSnapshot(now, state, self.estimator.estimate_state(state, rng))
+                CsiSnapshot(
+                    now,
+                    ChannelState(ap_true[0], dict(receivers), now, ap_channels=ap_true),
+                    ChannelState(ap_est[0], dict(receivers), now, ap_channels=ap_est),
+                )
             )
         return trace
 

@@ -46,6 +46,7 @@ from ..core import MulticastStreamer, SystemConfig
 from ..errors import EmulationError
 from ..obs import OBS
 from ..perf.parallel import parallel_map
+from ..phy.topology import TopologyConfig, topology_num_aps
 from .context import ExperimentContext, trace_for_placement
 
 __all__ = [
@@ -53,6 +54,8 @@ __all__ = [
     "variant_from_spec",
     "parse_config_overrides",
     "fault_grid",
+    "ap_fault_grid",
+    "sweep_num_aps",
     "install_context",
     "merge_runs",
     "run_variant_sweep",
@@ -125,7 +128,9 @@ def parse_config_overrides(pairs: Mapping[str, str]) -> Dict[str, Any]:
     booleans accept on/off/true/false/1/0; numbers are cast to the field
     type.  Fault-injection knobs nest under a dotted prefix
     (``faults.blockage_rate_hz=2``) and come back as one merged
-    :class:`repro.faults.FaultConfig` under the ``faults`` key.  Unknown
+    :class:`repro.faults.FaultConfig` under the ``faults`` key; topology
+    knobs likewise (``topology.num_aps=2``) merge into a
+    :class:`repro.phy.topology.TopologyConfig` under ``topology``.  Unknown
     fields raise :class:`EmulationError` so CLI typos fail loudly instead
     of silently streaming the base config.
     """
@@ -133,8 +138,11 @@ def parse_config_overrides(pairs: Mapping[str, str]) -> Dict[str, Any]:
     config_defaults = SystemConfig()
     fault_defaults = config_defaults.faults
     fault_fields = {f.name for f in dataclasses.fields(type(fault_defaults))}
+    topology_defaults = TopologyConfig()
+    topology_fields = {f.name for f in dataclasses.fields(TopologyConfig)}
     overrides: Dict[str, Any] = {}
     fault_overrides: Dict[str, Any] = {}
+    topology_overrides: Dict[str, Any] = {}
     for name, raw in pairs.items():
         if name.startswith("faults."):
             sub = name[len("faults."):]
@@ -147,9 +155,24 @@ def parse_config_overrides(pairs: Mapping[str, str]) -> Dict[str, Any]:
                 getattr(fault_defaults, sub), name, raw
             )
             continue
+        if name.startswith("topology."):
+            sub = name[len("topology."):]
+            if sub not in topology_fields:
+                raise EmulationError(
+                    f"unknown TopologyConfig field {name!r} "
+                    f"(known: {', '.join('topology.' + f for f in sorted(topology_fields))})"
+                )
+            topology_overrides[sub] = _coerce_field(
+                getattr(topology_defaults, sub), name, raw
+            )
+            continue
         if name == "faults":
             raise EmulationError(
                 "set fault knobs individually as faults.<field>=<value>"
+            )
+        if name == "topology":
+            raise EmulationError(
+                "set topology knobs individually as topology.<field>=<value>"
             )
         if name not in fields:
             raise EmulationError(
@@ -162,6 +185,10 @@ def parse_config_overrides(pairs: Mapping[str, str]) -> Dict[str, Any]:
     if fault_overrides:
         overrides["faults"] = dataclasses.replace(
             fault_defaults, **fault_overrides
+        )
+    if topology_overrides:
+        overrides["topology"] = dataclasses.replace(
+            topology_defaults, **topology_overrides
         )
     return overrides
 
@@ -197,6 +224,51 @@ def fault_grid(
             )
         )
     return variants
+
+
+def ap_fault_grid(
+    axis: str,
+    values: Sequence[Any],
+    ap_counts: Sequence[int] = (1, 2),
+    base: Optional[Mapping[str, str]] = None,
+) -> List[Variant]:
+    """The blockage-failover grid: ``faults.*`` axis x AP count.
+
+    Crosses one fault knob with a topology size so the 1-AP-vs-multi-AP
+    failover comparison (does a second AP hold SSIM up under LoS blockage?)
+    runs as a single sweep.  Arms are named ``"<n>ap:<axis>=<value>"``.
+    """
+    if not values:
+        raise EmulationError(f"ap_fault_grid({axis!r}) needs at least one value")
+    if not ap_counts:
+        raise EmulationError("ap_fault_grid needs at least one AP count")
+    variants = []
+    for n_aps in ap_counts:
+        for value in values:
+            pairs = dict(base or {})
+            pairs[f"faults.{axis}"] = str(value)
+            if int(n_aps) > 1:
+                pairs["topology.num_aps"] = str(int(n_aps))
+            variants.append(
+                Variant(
+                    f"{int(n_aps)}ap:{axis}={value}",
+                    config_overrides=parse_config_overrides(pairs),
+                )
+            )
+    return variants
+
+
+def sweep_num_aps(variants: Sequence[Variant]) -> int:
+    """The AP count a shared sweep trace must be recorded with.
+
+    The max over every arm's topology: 1-AP arms stream AP0's sub-trace of
+    the superset recording bit-identically, so the widest arm decides.
+    """
+    n_aps = 1
+    for variant in variants:
+        overrides = variant.config_overrides or {}
+        n_aps = max(n_aps, topology_num_aps(overrides.get("topology")))
+    return n_aps
 
 
 def variant_from_spec(spec: str) -> Variant:
@@ -260,7 +332,9 @@ def _placement_run(args: Tuple) -> Dict[str, Tuple[float, float]]:
     run, num_users, placement, variants, frames, seed_base, seed_stride, seed_offset = args
     ctx = _worker_context()
     run_seed = seed_base + seed_stride * run
-    trace = trace_for_placement(ctx, num_users, placement, run_seed)
+    trace = trace_for_placement(
+        ctx, num_users, placement, run_seed, num_aps=sweep_num_aps(variants)
+    )
     out: Dict[str, Tuple[float, float]] = {}
     for variant in variants:
         config = ctx.config(**dict(variant.config_overrides or {}))

@@ -16,13 +16,14 @@ for the mapping from each injector to the paper's impairment.
 """
 
 from .config import FaultConfig
-from .controller import FaultController
+from .controller import ApScopedFaults, FaultController
 from .injectors import FaultedLinkModel
 from .schedule import FaultEvent, FaultKind, FaultSchedule
 
 __all__ = [
     "FaultConfig",
     "FaultController",
+    "ApScopedFaults",
     "FaultedLinkModel",
     "FaultEvent",
     "FaultKind",

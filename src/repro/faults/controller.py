@@ -21,7 +21,7 @@ from .schedule import FaultEvent, FaultKind, FaultSchedule
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..transport.link import LinkModel
 
-__all__ = ["FaultController"]
+__all__ = ["FaultController", "ApScopedFaults"]
 
 
 class FaultController:
@@ -81,9 +81,13 @@ class FaultController:
 
     # -------------------------------------------------------------- queries
 
-    def rss_offset_db(self, user: int) -> float:
-        """Signed RSS offset for ``user`` at the current frame time."""
-        return self.schedule.rss_offset_db(self.now, user)
+    def rss_offset_db(self, user: int, ap: Optional[int] = None) -> float:
+        """Signed RSS offset for ``user`` at the current frame time.
+
+        ``ap`` scopes the query to one AP's link; ``None`` (the single-AP
+        pipeline) means AP 0.
+        """
+        return self.schedule.rss_offset_db(self.now, user, ap=ap)
 
     def erasure_scale(self) -> float:
         """Factor to multiply delivery probabilities by (1.0 = no erasure)."""
@@ -108,6 +112,16 @@ class FaultController:
             return link
         return FaultedLinkModel(link, self)
 
+    def for_ap(self, ap: int) -> "ApScopedFaults":
+        """This controller's queries scoped to AP ``ap``'s links.
+
+        The scoped view shares the controller's frame clock and schedule;
+        only the AP tag on attenuation queries changes.  The multi-AP
+        transmitter hands each per-AP pass its own view so an AP-tagged
+        blockage burst attenuates exactly one AP's links.
+        """
+        return ApScopedFaults(self, ap)
+
     # ------------------------------------------------------------- factory
 
     @classmethod
@@ -117,9 +131,43 @@ class FaultController:
         duration_s: float,
         users: Sequence[int],
         extra_events: Tuple[FaultEvent, ...] = (),
+        n_aps: int = 1,
     ) -> "FaultController":
         """Generate the seeded schedule for ``config`` and bind it."""
         schedule = FaultSchedule.generate(
-            config, duration_s, users, extra_events=extra_events
+            config, duration_s, users, extra_events=extra_events, n_aps=n_aps
         )
         return cls(schedule, config)
+
+
+class ApScopedFaults:
+    """A :class:`FaultController` view pinned to one AP's links.
+
+    Exposes the query surface the transmitter and feedback stages use
+    (``rss_offset_db`` / ``erasure_scale`` / ``feedback_lost`` /
+    ``beacon_lost`` / ``wrap_link``), delegating to the shared controller
+    with the AP tag applied.  :class:`FaultedLinkModel` only ever calls
+    ``rss_offset_db(user)``, so wrapping a link with this view scopes its
+    attenuation per AP with no transmitter changes.
+    """
+
+    def __init__(self, controller: FaultController, ap: int) -> None:
+        self.controller = controller
+        self.ap = int(ap)
+
+    def rss_offset_db(self, user: int) -> float:
+        return self.controller.rss_offset_db(user, ap=self.ap)
+
+    def erasure_scale(self) -> float:
+        return self.controller.erasure_scale()
+
+    def feedback_lost(self, user: int) -> bool:
+        return self.controller.feedback_lost(user)
+
+    def beacon_lost(self) -> bool:
+        return self.controller.beacon_lost()
+
+    def wrap_link(self, link: "LinkModel"):
+        if not self.controller._has_attenuation:
+            return link
+        return FaultedLinkModel(link, self)

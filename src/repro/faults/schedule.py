@@ -62,6 +62,11 @@ class FaultEvent:
         user: Target user, or ``None`` for an all-user event.
         magnitude_db: RSS attenuation (blockage / SNR-dip kinds).
         probability: Erasure probability (erasure kind).
+        ap: Target access point, or ``None`` for an every-AP event.  A
+            human body blocks the LoS *to one AP*; the reflection-rich path
+            to a differently-placed AP survives — per-AP blockage is what
+            makes failover a scenario.  Single-AP schedules leave this
+            ``None``, so existing timelines behave exactly as before.
     """
 
     kind: FaultKind
@@ -70,6 +75,7 @@ class FaultEvent:
     user: Optional[int] = None
     magnitude_db: float = 0.0
     probability: float = 0.0
+    ap: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.start_s < 0:
@@ -98,6 +104,8 @@ class FaultEvent:
             raise ConfigurationError(
                 f"probability must be in [0, 1], got {self.probability}"
             )
+        if self.ap is not None and self.ap < 0:
+            raise ConfigurationError(f"ap must be None or >= 0, got {self.ap}")
 
     @property
     def end_s(self) -> float:
@@ -111,6 +119,15 @@ class FaultEvent:
     def applies_to(self, user: int) -> bool:
         """Whether this event targets ``user`` (all-user events always do)."""
         return self.user is None or self.user == user
+
+    def applies_to_ap(self, ap: Optional[int]) -> bool:
+        """Whether this event reaches the link to AP ``ap``.
+
+        An untagged event (``self.ap is None``) reaches every AP; an
+        untagged *query* (``ap is None`` — the single-AP pipeline, which
+        never names APs) means AP 0.
+        """
+        return self.ap is None or self.ap == (ap if ap is not None else 0)
 
 
 @dataclass
@@ -150,11 +167,14 @@ class FaultSchedule:
         """Every windowed event covering ``now`` (for observability)."""
         return [e for e in self.events if e.kind in _WINDOWED and e.active_at(now)]
 
-    def rss_offset_db(self, now: float, user: int) -> float:
+    def rss_offset_db(
+        self, now: float, user: int, ap: Optional[int] = None
+    ) -> float:
         """Signed RSS offset (dB, <= 0) applied to ``user`` at ``now``.
 
         Concurrent blockage bursts and SNR dips stack — two bodies in the
-        LoS attenuate more than one.
+        LoS attenuate more than one.  ``ap`` scopes the query to one AP's
+        link; ``None`` (the single-AP pipeline) means AP 0.
         """
         return -sum(
             e.magnitude_db
@@ -162,6 +182,7 @@ class FaultSchedule:
             if e.kind in (FaultKind.BLOCKAGE, FaultKind.SNR_DIP)
             and e.active_at(now)
             and e.applies_to(user)
+            and e.applies_to_ap(ap)
         )
 
     def erasure_prob(self, now: float) -> float:
@@ -219,6 +240,7 @@ class FaultSchedule:
         duration_s: float,
         users: Sequence[int],
         extra_events: Iterable[FaultEvent] = (),
+        n_aps: int = 1,
     ) -> "FaultSchedule":
         """Draw a concrete timeline from ``config``'s rates.
 
@@ -226,11 +248,22 @@ class FaultSchedule:
         uniform over ``[0, duration_s)``.  Draw order is fixed (axis by
         axis, users in sorted order), so a given ``(config, duration_s,
         users)`` triple is fully reproducible.
+
+        With ``n_aps > 1``, blockage bursts are drawn independently per
+        ``(user, AP)`` link — AP 0's bursts for every user are drawn first,
+        in exactly the single-AP order, so the AP-0 timeline reuses the
+        draws the single-AP schedule would — and each burst is tagged with
+        the AP it crosses.  All other axes stay untagged
+        (an SNR dip or erasure burst hits the room, not one link).
+        ``n_aps == 1`` leaves every event untagged, matching earlier
+        versions bit for bit.
         """
         if duration_s <= 0:
             raise ConfigurationError(
                 f"schedule duration must be positive, got {duration_s}"
             )
+        if n_aps < 1:
+            raise ConfigurationError(f"n_aps must be >= 1, got {n_aps}")
         rng = validate_seed(config.seed)
         ordered_users = sorted(users)
         events: List[FaultEvent] = list(extra_events)
@@ -239,15 +272,20 @@ class FaultSchedule:
             count = int(rng.poisson(rate_hz * duration_s)) if rate_hz > 0 else 0
             return np.sort(rng.uniform(0.0, duration_s, size=count))
 
-        for user in ordered_users:
-            for start in starts(config.blockage_rate_hz):
-                events.append(
-                    FaultEvent(
-                        FaultKind.BLOCKAGE, float(start),
-                        config.blockage_duration_s, user=user,
-                        magnitude_db=config.blockage_depth_db,
+        # AP 0 first across every user — exactly the single-AP draw order —
+        # then each extra AP's bursts, so the AP-0 timeline of a multi-AP
+        # schedule replays the single-AP schedule's draws verbatim.
+        for ap in range(n_aps):
+            for user in ordered_users:
+                for start in starts(config.blockage_rate_hz):
+                    events.append(
+                        FaultEvent(
+                            FaultKind.BLOCKAGE, float(start),
+                            config.blockage_duration_s, user=user,
+                            magnitude_db=config.blockage_depth_db,
+                            ap=ap if n_aps > 1 else None,
+                        )
                     )
-                )
         for start in starts(config.snr_dip_rate_hz):
             events.append(
                 FaultEvent(

@@ -19,6 +19,7 @@ from .mcs import MCS_TABLE, McsEntry, highest_supported_mcs, rate_for_rss_mbps
 from .mobility import EnvironmentMotionModel, RandomWalkModel
 from .raytracer import Path, Room, RayTracer
 from .csi import CsiEstimator, CsiSnapshot, CsiTrace
+from .topology import MAX_APS, AccessPoint, Topology, TopologyConfig
 
 __all__ = [
     "PhasedArray",
@@ -37,4 +38,8 @@ __all__ = [
     "CsiEstimator",
     "CsiSnapshot",
     "CsiTrace",
+    "AccessPoint",
+    "Topology",
+    "TopologyConfig",
+    "MAX_APS",
 ]

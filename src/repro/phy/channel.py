@@ -59,19 +59,57 @@ class ChannelState:
     """Per-user channel vectors at one instant.
 
     Attributes:
-        channels: ``user_id -> h`` complex vector of length ``Nt``.
+        channels: ``user_id -> h`` complex vector of length ``Nt``.  In a
+            multi-AP snapshot this is always AP 0's dict, so every
+            single-AP consumer keeps reading exactly the data it always
+            did.
         positions: ``user_id -> Position`` (metadata; emulation only).
         time_s: Simulation time of the snapshot.
+        ap_channels: Optional per-AP channel dicts, AP 0 first (entry 0
+            aliases ``channels``).  ``None`` means a plain single-AP
+            snapshot.
     """
 
     channels: Dict[int, np.ndarray]
     positions: Dict[int, Position] = field(default_factory=dict)
     time_s: float = 0.0
+    ap_channels: Optional[List[Dict[int, np.ndarray]]] = None
+
+    def __post_init__(self) -> None:
+        if self.ap_channels is not None:
+            if not self.ap_channels:
+                raise ChannelError("ap_channels must be None or non-empty")
+            # Entry 0 IS the legacy dict — one source of truth per user.
+            self.ap_channels[0] = self.channels
+
+    @property
+    def n_aps(self) -> int:
+        """Access points this snapshot carries channels for."""
+        return len(self.ap_channels) if self.ap_channels is not None else 1
 
     @property
     def user_ids(self) -> List[int]:
         """Sorted user identifiers present in this snapshot."""
         return sorted(self.channels)
+
+    def for_ap(self, ap: int) -> "ChannelState":
+        """A single-AP view of this snapshot (AP 0 returns ``self``).
+
+        The view shares the underlying channel dicts, so beam planners,
+        link models and transmitters written against the single-AP
+        :class:`ChannelState` work per AP unchanged.
+        """
+        if ap == 0:
+            return self
+        if self.ap_channels is None or not 0 <= ap < len(self.ap_channels):
+            raise ChannelError(
+                f"snapshot carries {self.n_aps} AP(s); no channels for AP {ap}"
+            )
+        return ChannelState(
+            channels=self.ap_channels[ap],
+            positions=self.positions,
+            time_s=self.time_s,
+        )
 
     def stacked(self, user_ids: Sequence[int]) -> np.ndarray:
         """Stack the selected users' channels into an ``(n, Nt)`` matrix."""

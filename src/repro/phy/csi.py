@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path as FsPath
-from typing import Dict, Iterator, List, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
@@ -51,11 +51,26 @@ class CsiEstimator:
     def estimate_state(
         self, state: ChannelState, rng: np.random.Generator
     ) -> ChannelState:
-        """Noisy estimate of a whole snapshot."""
+        """Noisy estimate of a whole snapshot.
+
+        Multi-AP snapshots estimate AP 0's channel dict first — consuming
+        exactly the rng draws a single-AP snapshot would — then the extra
+        APs in AP order, so AP 0's estimates in an N-AP trace are
+        bit-identical to a 1-AP trace at the same seed.
+        """
+        estimated = {u: self.estimate(h, rng) for u, h in state.channels.items()}
+        ap_estimates: Optional[List[Dict[int, np.ndarray]]] = None
+        if state.ap_channels is not None:
+            ap_estimates = [estimated]
+            for ap_dict in state.ap_channels[1:]:
+                ap_estimates.append(
+                    {u: self.estimate(h, rng) for u, h in ap_dict.items()}
+                )
         return ChannelState(
-            channels={u: self.estimate(h, rng) for u, h in state.channels.items()},
+            channels=estimated,
             positions=dict(state.positions),
             time_s=state.time_s,
+            ap_channels=ap_estimates,
         )
 
 
@@ -121,19 +136,34 @@ class CsiTrace:
             return []
         return self.snapshots[0].true_state.user_ids
 
+    @property
+    def n_aps(self) -> int:
+        """Access points the trace carries channels for (1 when empty)."""
+        if not self.snapshots:
+            return 1
+        return self.snapshots[0].true_state.n_aps
+
     # ------------------------------------------------------------ persistence
 
     def save(self, path: Union[str, FsPath]) -> None:
-        """Persist the trace to an ``.npz`` file."""
+        """Persist the trace to an ``.npz`` file.
+
+        Multi-AP traces add ``ap{a}_true_{u}`` / ``ap{a}_est_{u}`` arrays
+        for each extra AP ``a >= 1`` plus an ``n_aps`` scalar; single-AP
+        traces keep the original key layout, so old files load unchanged.
+        """
         if not self.snapshots:
             raise ChannelError("refusing to save an empty trace")
         users = self.user_ids()
+        n_aps = self.n_aps
         times = np.array([s.time_s for s in self.snapshots])
         data: Dict[str, np.ndarray] = {
             "times": times,
             "users": np.array(users),
             "beacon_interval_s": np.array(self.beacon_interval_s),
         }
+        if n_aps > 1:
+            data["n_aps"] = np.array(n_aps)
         for user in users:
             data[f"true_{user}"] = np.vstack(
                 [s.true_state.channels[user] for s in self.snapshots]
@@ -147,6 +177,16 @@ class CsiTrace:
                     for s in self.snapshots
                 ]
             )
+            for ap in range(1, n_aps):
+                data[f"ap{ap}_true_{user}"] = np.vstack(
+                    [s.true_state.ap_channels[ap][user] for s in self.snapshots]
+                )
+                data[f"ap{ap}_est_{user}"] = np.vstack(
+                    [
+                        s.estimated_state.ap_channels[ap][user]
+                        for s in self.snapshots
+                    ]
+                )
         np.savez(FsPath(path), **data)
 
     @classmethod
@@ -156,6 +196,7 @@ class CsiTrace:
             times = data["times"]
             users = [int(u) for u in data["users"]]
             interval = float(data["beacon_interval_s"])
+            n_aps = int(data["n_aps"]) if "n_aps" in data else 1
             snapshots = []
             for i, t in enumerate(times):
                 true_channels = {u: data[f"true_{u}"][i] for u in users}
@@ -163,11 +204,25 @@ class CsiTrace:
                 positions = {
                     u: Position(*(float(v) for v in data[f"pos_{u}"][i])) for u in users
                 }
+                ap_true = ap_est = None
+                if n_aps > 1:
+                    ap_true = [true_channels] + [
+                        {u: data[f"ap{ap}_true_{u}"][i] for u in users}
+                        for ap in range(1, n_aps)
+                    ]
+                    ap_est = [est_channels] + [
+                        {u: data[f"ap{ap}_est_{u}"][i] for u in users}
+                        for ap in range(1, n_aps)
+                    ]
                 snapshots.append(
                     CsiSnapshot(
                         time_s=float(t),
-                        true_state=ChannelState(true_channels, positions, float(t)),
-                        estimated_state=ChannelState(est_channels, positions, float(t)),
+                        true_state=ChannelState(
+                            true_channels, positions, float(t), ap_channels=ap_true
+                        ),
+                        estimated_state=ChannelState(
+                            est_channels, positions, float(t), ap_channels=ap_est
+                        ),
                     )
                 )
         return cls(snapshots=snapshots, beacon_interval_s=interval)

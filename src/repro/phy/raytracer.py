@@ -20,6 +20,7 @@ from typing import List
 import numpy as np
 
 from ..errors import ChannelError
+from ..obs import OBS
 from ..types import Position
 from .propagation import REFLECTION_LOSS_DB, free_space_path_loss_db
 
@@ -152,6 +153,23 @@ class RayTracer:
         return float((angle + np.pi) % (2.0 * np.pi) - np.pi)
 
 
+def _validated_placement(room: Room, x: float, y: float) -> Position:
+    """Clamp a raw placement into the room, flagging out-of-room draws.
+
+    Geometry (distance + angle around the AP) can put a raw placement
+    outside the room; these used to be clamped silently.  The clamp output
+    is unchanged, but out-of-room draws now count under
+    ``phy.placement.out_of_room`` and the result is verified against
+    :meth:`Room.contains` so a bad clamp can never emit an outside user.
+    """
+    if not room.contains(Position(float(x), float(y))) and OBS.mode:
+        OBS.count("phy.placement.out_of_room")
+    placed = room.clamp(x, y)
+    if not room.contains(placed):
+        raise ChannelError(f"clamped placement {placed} outside room {room}")
+    return placed
+
+
 def place_users_arc(
     ap_position: Position,
     room: Room,
@@ -184,7 +202,7 @@ def place_users_arc(
         world = boresight_rad + float(angle)
         x = ap_position.x + distance_m * np.cos(world)
         y = ap_position.y + distance_m * np.sin(world)
-        users.append(room.clamp(x, y))
+        users.append(_validated_placement(room, x, y))
     return users
 
 
@@ -216,5 +234,5 @@ def place_users_random_range(
         world = boresight_rad + angle
         x = ap_position.x + distance * np.cos(world)
         y = ap_position.y + distance * np.sin(world)
-        users.append(room.clamp(x, y))
+        users.append(_validated_placement(room, x, y))
     return users

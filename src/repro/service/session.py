@@ -149,7 +149,10 @@ class SessionSpec:
         """
         overrides = parse_config_overrides(dict(self.overrides))
         config = ctx.config(**overrides)
-        trace = trace_for_placement(ctx, self.users, self.placement, self.seed)
+        trace = trace_for_placement(
+            ctx, self.users, self.placement, self.seed,
+            num_aps=config.num_aps,
+        )
         streamer = MulticastStreamer(
             config, ctx.dnn, ctx.probes, ctx.scenario.channel_model,
             seed=self.seed + SEED_OFFSET,

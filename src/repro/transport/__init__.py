@@ -18,9 +18,17 @@ from .bandwidth import (
     CohortBandwidthEstimator,
 )
 from .cohort import CohortUserReception, FrameCohort, UserTallies
+from .association import (
+    ApAssociationPolicy,
+    association_rss_matrix,
+    delivery_probability_matrix,
+)
 from .transmitter import FrameTransmitter, TransmissionResult, UserReception
 
 __all__ = [
+    "ApAssociationPolicy",
+    "association_rss_matrix",
+    "delivery_probability_matrix",
     "LeakyBucket",
     "LinkModel",
     "packet_error_rate",

@@ -1,0 +1,194 @@
+"""Per-user AP association for multi-AP topologies.
+
+Generalises the transport layer's implicit "the AP" to an
+``(n_aps, n_users)`` axis: an RSS matrix over every AP/user link, a
+strongest-RSS association rule with hysteresis (ping-pong damping, the
+standard cellular/WLAN handover primitive), and an optional seeded
+measurement-noise stream so noisy-handover scenarios stay reproducible.
+
+Association is computed from the *matched-filter* RSS bound
+``budget.rss_dbm(||h||^2)`` — the RSS a conjugate beam would deliver —
+rather than any concrete group beam: association answers "which AP can
+serve this user best", independent of this beacon's grouping.  Fault
+offsets (per-AP blockage) feed the same matrix, so a blocked LoS drains
+the serving AP's column and failover emerges from the ordinary handover
+rule instead of a special case.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import TransportError
+from ..obs import OBS
+from ..phy.channel import ChannelState, LinkBudget
+from ..phy.mcs import McsEntry
+from .link import LinkModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.controller import FaultController
+
+__all__ = ["ApAssociationPolicy", "association_rss_matrix", "delivery_probability_matrix"]
+
+
+def association_rss_matrix(
+    state: ChannelState,
+    users: Sequence[int],
+    budget: LinkBudget,
+    faults: Optional["FaultController"] = None,
+) -> np.ndarray:
+    """Matched-filter RSS bound per ``(ap, user)`` link, in dBm.
+
+    One vectorized pass: stack every AP's channels for the selected users,
+    take ``||h||^2`` row-wise, and apply the link-budget scalars.  Zero
+    channels map to ``-inf`` (unreachable), matching
+    :meth:`LinkBudget.rss_dbm`.  With a fault controller, each entry is
+    shifted by that link's blockage/SNR-dip offset at the current frame
+    time.
+    """
+    if not users:
+        raise TransportError("association needs at least one user")
+    n_aps = state.n_aps
+    gains = np.empty((n_aps, len(users)))
+    for ap in range(n_aps):
+        ap_state = state.for_ap(ap)
+        stacked = ap_state.stacked(users)
+        gains[ap] = np.sum(np.abs(stacked) ** 2, axis=1)
+    rss = np.full_like(gains, -np.inf)
+    positive = gains > 0.0
+    rss[positive] = (
+        budget.tx_power_dbm
+        + budget.rx_gain_db
+        - budget.implementation_loss_db
+        + 10.0 * np.log10(gains[positive])
+    )
+    if faults is not None:
+        for ap in range(n_aps):
+            for column, user in enumerate(users):
+                offset = faults.rss_offset_db(user, ap=ap)
+                if offset:
+                    rss[ap, column] += offset
+    return rss
+
+
+def delivery_probability_matrix(
+    link: LinkModel,
+    user_ids: Sequence[int],
+    beams: Sequence[np.ndarray],
+    true_state: ChannelState,
+    mcss: Sequence[Optional[McsEntry]],
+    rss_offsets_db: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Delivery probabilities on an ``(n_aps, n_users)`` grid.
+
+    Row ``a`` evaluates AP ``a``'s beam/MCS against AP ``a``'s channels via
+    the existing :meth:`LinkModel.delivery_probability_array` (the ulp-exact
+    scalar-PER path), so per-AP numbers agree bit-for-bit with what a
+    single-AP transmitter pass computes.  APs with no MCS (unreachable
+    group) get a zero row.
+    """
+    n_aps = len(beams)
+    if len(mcss) != n_aps:
+        raise TransportError(f"{n_aps} beams but {len(mcss)} MCS entries")
+    probs = np.zeros((n_aps, len(user_ids)))
+    for ap in range(n_aps):
+        mcs = mcss[ap]
+        if mcs is None:
+            continue
+        offsets = None if rss_offsets_db is None else rss_offsets_db[ap]
+        probs[ap] = link.delivery_probability_array(
+            user_ids, beams[ap], true_state.for_ap(ap), mcs,
+            rss_offsets_db=offsets,
+        )
+    return probs
+
+
+class ApAssociationPolicy:
+    """Strongest-RSS association with hysteresis and seeded handover noise.
+
+    Args:
+        n_aps: Access points in the topology.
+        budget: Link budget used for the RSS bound.
+        hysteresis_db: A user leaves its serving AP only when a challenger
+            beats it by more than this margin.
+        noise_db: Std-dev of measurement noise added to each comparison
+            (drawn from a dedicated seeded stream; 0 disables the draw
+            entirely so noiseless runs consume no randomness).
+        seed: Seed of the association-noise stream, independent of the
+            streamer's packet-loss RNG.
+    """
+
+    def __init__(
+        self,
+        n_aps: int,
+        budget: LinkBudget,
+        hysteresis_db: float = 3.0,
+        noise_db: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if n_aps < 1:
+            raise TransportError(f"n_aps must be >= 1, got {n_aps}")
+        self.n_aps = int(n_aps)
+        self.budget = budget
+        self.hysteresis_db = float(hysteresis_db)
+        self.noise_db = float(noise_db)
+        self._rng = np.random.default_rng(seed)
+        self.serving: Dict[int, int] = {}
+        self._secondary: Dict[int, Optional[int]] = {}
+
+    def update(
+        self,
+        state: ChannelState,
+        users: Sequence[int],
+        faults: Optional["FaultController"] = None,
+    ) -> Dict[int, int]:
+        """Re-evaluate association for ``users`` against a fresh snapshot.
+
+        Users are processed in the given order with one noise matrix drawn
+        up front, so the handover sequence is a pure function of
+        ``(seed, call sequence)``.  Users not seen before associate to
+        their strongest AP outright; known users keep their serving AP
+        unless a challenger clears the hysteresis margin.  Departed users
+        are evicted so a later rejoin re-associates fresh.
+        """
+        users = list(users)
+        rss = association_rss_matrix(state, users, self.budget, faults=faults)
+        if self.noise_db > 0.0:
+            rss = rss + self._rng.normal(0.0, self.noise_db, size=rss.shape)
+        for column, user in enumerate(users):
+            column_rss = rss[:, column]
+            best = int(np.argmax(column_rss))
+            current = self.serving.get(user)
+            if current is None:
+                self.serving[user] = best
+            elif (
+                best != current
+                and column_rss[best] > column_rss[current] + self.hysteresis_db
+            ):
+                self.serving[user] = best
+                if OBS.mode:
+                    OBS.count("transport.association.handover")
+                    OBS.count(f"transport.association.handover.user.{user}")
+            if self.n_aps > 1:
+                order = np.argsort(column_rss)[::-1]
+                runner_up = int(order[1]) if order[0] == self.serving[user] else int(order[0])
+                self._secondary[user] = (
+                    runner_up if np.isfinite(column_rss[runner_up]) else None
+                )
+            else:
+                self._secondary[user] = None
+        present = set(users)
+        for user in [u for u in self.serving if u not in present]:
+            del self.serving[user]
+            self._secondary.pop(user, None)
+        return dict(self.serving)
+
+    def secondary(self, user: int) -> Optional[int]:
+        """The best non-serving AP for ``user`` (repair source), if any."""
+        return self._secondary.get(user)
+
+    def users_of(self, ap: int) -> List[int]:
+        """Users currently served by AP ``ap``, sorted."""
+        return sorted(u for u, a in self.serving.items() if a == ap)

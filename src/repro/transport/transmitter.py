@@ -21,7 +21,7 @@ the burst, so losses hit base layers too.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -37,7 +37,11 @@ from .kernel_queue import KernelQueue
 from .link import LinkModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..faults.controller import FaultController
+    from ..faults.controller import ApScopedFaults, FaultController
+
+    #: Anything the transmitter consults for faults: the session's
+    #: controller, or one AP's scoped view of it.
+    FaultView = Union["FaultController", "ApScopedFaults"]
 
 #: Firmware beam + MCS switch overhead (Sec 3.1: ~25 us).
 GROUP_SWITCH_OVERHEAD_S = 25e-6
@@ -132,7 +136,8 @@ class FrameTransmitter:
         rng: np.random.Generator,
         rate_limits_bytes_per_s: Optional[Dict[int, float]] = None,
         active_users: Optional[Sequence[int]] = None,
-        faults: Optional["FaultController"] = None,
+        faults: Optional["FaultView"] = None,
+        allow_cohort: bool = True,
     ) -> TransmissionResult:
         """Run one frame's transmission and return per-user receptions.
 
@@ -147,23 +152,28 @@ class FrameTransmitter:
                 (from the previous frame's receiver estimates).
             active_users: Receivers currently in the session; ``None``
                 means every user in ``true_state`` (no churn).
-            faults: Active fault controller; applies blockage/SNR-dip
-                attenuation through the link wrapper and packet-erasure
-                bursts on the delivery probabilities.
+            faults: Active fault controller (or an AP-scoped view of one);
+                applies blockage/SNR-dip attenuation through the link
+                wrapper and packet-erasure bursts on the delivery
+                probabilities.
+            allow_cohort: When False, stay on the per-user reception path
+                even in optimized mode.  The multi-AP pipeline merges
+                several per-AP passes and repairs decoders across APs, so
+                it needs per-user decoder objects, not a cohort.
         """
         if budget_s <= 0:
             raise TransportError(f"budget must be positive, got {budget_s}")
         if not OBS.mode:
             return self._transmit(
                 encoder, assignments, groups, true_state, budget_s, rng,
-                rate_limits_bytes_per_s, active_users, faults,
+                rate_limits_bytes_per_s, active_users, faults, allow_cohort,
             )
         with OBS.span(
             "transport.transmit", frame=encoder.frame_index
         ) as span:
             result = self._transmit(
                 encoder, assignments, groups, true_state, budget_s, rng,
-                rate_limits_bytes_per_s, active_users, faults,
+                rate_limits_bytes_per_s, active_users, faults, allow_cohort,
             )
             span.set(
                 packets_sent=result.packets_sent,
@@ -193,7 +203,8 @@ class FrameTransmitter:
         rng: np.random.Generator,
         rate_limits_bytes_per_s: Optional[Dict[int, float]] = None,
         active_users: Optional[Sequence[int]] = None,
-        faults: Optional["FaultController"] = None,
+        faults: Optional["FaultView"] = None,
+        allow_cohort: bool = True,
     ) -> TransmissionResult:
         users = true_state.user_ids
         if active_users is not None:
@@ -213,7 +224,7 @@ class FrameTransmitter:
         state = _TxState(clock_s=0.0, packets_sent=0, dropped_at_queue=0)
         plan = self._expand_assignments(encoder, assignments, groups)
 
-        if not seed_path_active() and not OBS.mode:
+        if allow_cohort and not seed_path_active() and not OBS.mode:
             # Vectorized cohort path: struct-of-arrays receiver state, one
             # batched Bernoulli comparison per coding group.  Observability
             # runs stay on the per-user path so the per-packet counters and
@@ -286,7 +297,7 @@ class FrameTransmitter:
         budget_s: float,
         state: _TxState,
         rng: np.random.Generator,
-        faults: Optional["FaultController"],
+        faults: Optional["FaultView"],
     ) -> TransmissionResult:
         """Cohort-vectorized twin of the per-user transmission body.
 
@@ -619,7 +630,7 @@ class FrameTransmitter:
         group: CandidateGroup,
         true_state: ChannelState,
         receptions: Dict[int, UserReception],
-        faults: Optional["FaultController"] = None,
+        faults: Optional["FaultView"] = None,
     ) -> Dict[int, float]:
         link = self.link if faults is None else faults.wrap_link(self.link)
         probs = {
@@ -645,7 +656,7 @@ class FrameTransmitter:
         true_state: ChannelState,
         cohort: FrameCohort,
         prob_cache: Dict[int, Tuple[np.ndarray, np.ndarray]],
-        faults: Optional["FaultController"] = None,
+        faults: Optional["FaultView"] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """(member rows, delivery probabilities) for a group, memoized.
 

@@ -1,0 +1,137 @@
+"""Equivalence of the batched gain paths against the scalar reference.
+
+``per_user_gains_batch`` collapses the planner's inner loop into one
+stacked matmul; the BLAS gemm can differ from the scalar ``vdot`` loop by
+1-2 ulp, so the contract is ``allclose``-equivalence (not bit-identity)
+plus identical *decisions* (MCS, rates, user ordering) when driven
+through :meth:`GroupBeamPlanner.plan_groups`.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.beamforming.codebook import SectorCodebook
+from repro.beamforming.multicast import (
+    max_min_gain,
+    max_min_gain_batch,
+    per_user_gains,
+    per_user_gains_batch,
+)
+from repro.beamforming.selection import GroupBeamPlanner
+from repro.errors import BeamformingError
+from repro.types import BeamformingScheme
+
+NT = 32
+
+
+def _random_channels(rng, count, nt=NT, scale=1e-4):
+    return [
+        (rng.normal(size=nt) + 1j * rng.normal(size=nt)) * scale
+        for _ in range(count)
+    ]
+
+
+def _random_beam(rng, nt=NT):
+    raw = rng.normal(size=nt) + 1j * rng.normal(size=nt)
+    return raw / np.linalg.norm(raw)
+
+
+class TestBatchGains:
+    def test_matches_scalar_per_group(self, rng):
+        groups = [_random_channels(rng, size) for size in (1, 2, 4, 7)]
+        beams = [_random_beam(rng) for _ in groups]
+        batched = per_user_gains_batch(beams, groups)
+        assert len(batched) == len(groups)
+        for beam, group, gains in zip(beams, groups, batched):
+            np.testing.assert_allclose(
+                gains, per_user_gains(beam, group), rtol=1e-12
+            )
+
+    def test_max_min_matches_scalar(self, rng):
+        groups = [_random_channels(rng, size) for size in (3, 1, 5)]
+        beams = [_random_beam(rng) for _ in groups]
+        batched = max_min_gain_batch(beams, groups)
+        scalar = [max_min_gain(b, g) for b, g in zip(beams, groups)]
+        np.testing.assert_allclose(batched, scalar, rtol=1e-12)
+
+    def test_empty_batch(self):
+        assert per_user_gains_batch([], []) == []
+
+    def test_length_mismatch_rejected(self, rng):
+        with pytest.raises(BeamformingError):
+            per_user_gains_batch([_random_beam(rng)], [])
+
+    def test_empty_group_rejected(self, rng):
+        with pytest.raises(BeamformingError):
+            per_user_gains_batch([_random_beam(rng)], [[]])
+
+    def test_beam_channel_length_mismatch_rejected(self, rng):
+        with pytest.raises(BeamformingError):
+            per_user_gains_batch(
+                [_random_beam(rng, nt=16)], [_random_channels(rng, 2)]
+            )
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        sizes=st.lists(
+            st.integers(min_value=1, max_value=6), min_size=1, max_size=5
+        ),
+    )
+    def test_property_batch_equals_scalar(self, seed, sizes):
+        rng = np.random.default_rng(seed)
+        groups = [_random_channels(rng, size) for size in sizes]
+        beams = [_random_beam(rng) for _ in groups]
+        batched = per_user_gains_batch(beams, groups)
+        for beam, group, gains in zip(beams, groups, batched):
+            np.testing.assert_allclose(
+                gains, per_user_gains(beam, group), rtol=1e-12
+            )
+
+
+class TestPlanGroupsBatch:
+    @pytest.fixture(scope="class")
+    def planner_state(self, request):
+        scenario = request.getfixturevalue("scenario")
+        positions = scenario.place_arc(4, 3.0, 90, seed=17)
+        state = scenario.channel_model.snapshot(
+            {i: p for i, p in enumerate(positions)},
+            np.random.default_rng(17),
+        )
+        codebook = SectorCodebook(scenario.array, num_beams=16, num_wide_beams=4)
+        planner = GroupBeamPlanner(
+            scenario.array, codebook, scenario.channel_model.budget,
+            BeamformingScheme.OPTIMIZED_MULTICAST,
+        )
+        return planner, state
+
+    def test_matches_plan_group_decisions(self, planner_state):
+        planner, state = planner_state
+        groups = [[0], [1], [2, 3], [0, 1, 2]]
+        batched = planner.plan_groups(state, groups)
+        for group, plan in zip(groups, batched):
+            scalar = planner.plan_group(state, group)
+            assert plan.user_ids == scalar.user_ids
+            assert plan.mcs == scalar.mcs
+            assert plan.rate_mbps == scalar.rate_mbps
+            np.testing.assert_allclose(plan.beam, scalar.beam)
+            assert plan.min_rss_dbm == pytest.approx(
+                scalar.min_rss_dbm, abs=1e-9
+            )
+            for user in plan.user_ids:
+                assert plan.per_user_rss_dbm[user] == pytest.approx(
+                    scalar.per_user_rss_dbm[user], abs=1e-9
+                )
+
+    def test_singleton_batch_shape(self, planner_state):
+        """The multi-AP repair planner's usage: one singleton per user."""
+        planner, state = planner_state
+        plans = planner.plan_groups(state, [[u] for u in range(4)])
+        assert [p.user_ids for p in plans] == [(u,) for u in range(4)]
+        assert all(p.mcs is not None for p in plans)

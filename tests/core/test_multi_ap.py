@@ -1,0 +1,251 @@
+"""Multi-AP pipeline: stage selection, 1-AP bit-identity, failover, repair.
+
+The load-bearing contract: the topology axis is purely *additive*.  A
+config without a topology block (or with ``num_aps == 1``) must stream
+bit-identically to the pre-topology system — including on a multi-AP
+*superset* trace, whose AP-0 sub-trace carries exactly the channels a
+single-AP recording would (that identity is what lets one shared trace
+serve the 1-AP and 2-AP arms of a failover sweep).  On top of that, the
+2-AP pipeline must actually earn its keep: under deep AP-0 blockage its
+SSIM must hold up at least as well as the single AP's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, example, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MulticastStreamer,
+    MultiApCodingGroupMapper,
+    MultiApPlanner,
+    MultiApTransmitter,
+    SystemConfig,
+)
+from repro.errors import ConfigurationError
+from repro.obs import OBS, observed
+from repro.perf import perf_mode
+from repro.phy.topology import TopologyConfig
+
+from tests.faults.conftest import fingerprint
+
+RES = dict(height=144, width=256)
+
+#: Fault mixes for the identity properties: clean, blocked, and mixed.
+FAULT_MIXES = (
+    {},
+    {"blockage_rate_hz": 5.0, "blockage_depth_db": 20.0, "seed": 21},
+    {"blockage_rate_hz": 3.0, "erasure_rate_hz": 4.0, "seed": 22},
+)
+
+#: The bench's failover scenario: frequent deep blockage bursts.
+BLOCKAGE = dict(
+    seed=11, blockage_rate_hz=6.0, blockage_duration_s=0.25,
+    blockage_depth_db=25.0,
+)
+
+
+def _trace(scenario, num_users, seed, num_aps=1, duration_s=0.3):
+    positions = scenario.place_arc(num_users, 3.0, 60, seed=seed)
+    return scenario.static_trace(
+        positions, duration_s=duration_s, seed=seed + 1, num_aps=num_aps
+    )
+
+
+def _run(scenario, tiny_dnn, hr_probe, trace, seed=0, frames=4, **overrides):
+    config = SystemConfig(**RES, **overrides)
+    streamer = MulticastStreamer(
+        config, tiny_dnn, [hr_probe], scenario.channel_model, seed=seed
+    )
+    return streamer.session(trace).run(frames)
+
+
+class TestStageSelection:
+    def test_multi_ap_config_selects_multi_ap_stages(
+        self, scenario, tiny_dnn, hr_probe
+    ):
+        trace = _trace(scenario, 2, seed=3, num_aps=2)
+        config = SystemConfig(**RES, topology=TopologyConfig(num_aps=2))
+        streamer = MulticastStreamer(
+            config, tiny_dnn, [hr_probe], scenario.channel_model, seed=0
+        )
+        session = streamer.session(trace)
+        names = [type(stage) for stage in session.stages]
+        assert MultiApPlanner in names
+        assert MultiApCodingGroupMapper in names
+        assert MultiApTransmitter in names
+
+    def test_single_ap_topology_selects_default_stages(
+        self, scenario, tiny_dnn, hr_probe
+    ):
+        trace = _trace(scenario, 2, seed=3)
+        config = SystemConfig(**RES, topology=TopologyConfig(num_aps=1))
+        streamer = MulticastStreamer(
+            config, tiny_dnn, [hr_probe], scenario.channel_model, seed=0
+        )
+        session = streamer.session(trace)
+        assert not any(
+            isinstance(stage, MultiApTransmitter) for stage in session.stages
+        )
+
+    def test_insufficient_trace_rejected(self, scenario, tiny_dnn, hr_probe):
+        """A 2-AP config on a 1-AP trace is a recording mistake, not
+        something to paper over."""
+        trace = _trace(scenario, 2, seed=3, num_aps=1)
+        config = SystemConfig(**RES, topology=TopologyConfig(num_aps=2))
+        streamer = MulticastStreamer(
+            config, tiny_dnn, [hr_probe], scenario.channel_model, seed=0
+        )
+        with pytest.raises(ConfigurationError):
+            streamer.session(trace)
+
+    def test_topology_dict_coerced(self):
+        config = SystemConfig(**RES, topology={"num_aps": 2})
+        assert config.num_aps == 2
+        assert config.multi_ap
+
+
+class TestSingleApIdentity:
+    """No-topology, 1-AP-topology and superset-trace runs are one system."""
+
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        num_users=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=999),
+        faults=st.sampled_from(FAULT_MIXES),
+    )
+    @example(num_users=2, seed=0, faults=FAULT_MIXES[1])
+    def test_superset_trace_identity(
+        self, scenario, tiny_dnn, hr_probe, num_users, seed, faults
+    ):
+        """A 1-AP config streams the AP-0 sub-trace of a 2-AP superset
+        recording bit-identically to a plain 1-AP recording — in both the
+        seed and the optimized transport paths."""
+        single = _trace(scenario, num_users, seed)
+        superset = _trace(scenario, num_users, seed, num_aps=2)
+        for mode in ("seed", "optimized"):
+            with perf_mode(mode):
+                reference = fingerprint(_run(
+                    scenario, tiny_dnn, hr_probe, single,
+                    seed=seed, faults=dict(faults),
+                ))
+                on_superset = fingerprint(_run(
+                    scenario, tiny_dnn, hr_probe, superset,
+                    seed=seed, faults=dict(faults),
+                ))
+            assert on_superset == reference
+
+    def test_explicit_single_ap_topology_identity(
+        self, scenario, tiny_dnn, hr_probe
+    ):
+        """``topology=TopologyConfig(num_aps=1)`` is indistinguishable from
+        no topology block at all."""
+        trace = _trace(scenario, 2, seed=7)
+        without = fingerprint(
+            _run(scenario, tiny_dnn, hr_probe, trace, seed=7)
+        )
+        with_block = fingerprint(_run(
+            scenario, tiny_dnn, hr_probe, trace, seed=7,
+            topology=TopologyConfig(num_aps=1),
+        ))
+        assert with_block == without
+
+
+class TestMultiApSession:
+    def _two_ap_outcome(self, scenario, tiny_dnn, hr_probe, seed=0,
+                        frames=6, **overrides):
+        trace = _trace(scenario, 3, seed=9, num_aps=2, duration_s=0.4)
+        return _run(
+            scenario, tiny_dnn, hr_probe, trace, seed=seed, frames=frames,
+            topology=TopologyConfig(num_aps=2), **overrides,
+        )
+
+    def test_two_ap_session_runs_and_scores(
+        self, scenario, tiny_dnn, hr_probe
+    ):
+        outcome = self._two_ap_outcome(scenario, tiny_dnn, hr_probe)
+        assert {(s.frame_index, s.user_id) for s in outcome.stats} == {
+            (f, u) for f in range(6) for u in range(3)
+        }
+        assert all(0.0 <= s.ssim <= 1.0 for s in outcome.stats)
+
+    def test_two_ap_session_deterministic(self, scenario, tiny_dnn, hr_probe):
+        first = fingerprint(self._two_ap_outcome(
+            scenario, tiny_dnn, hr_probe, faults=dict(BLOCKAGE),
+        ))
+        second = fingerprint(self._two_ap_outcome(
+            scenario, tiny_dnn, hr_probe, faults=dict(BLOCKAGE),
+        ))
+        assert first == second
+
+    def test_frame_context_carries_topology_state(
+        self, scenario, tiny_dnn, hr_probe
+    ):
+        """The per-AP planning products are visible to downstream stages."""
+        seen = []
+
+        class Spy:
+            name = "spy"
+
+            def run(self, ctx, session):
+                seen.append((
+                    ctx.association, ctx.ap_users,
+                    ctx.ap_allocations, ctx.repair_plans,
+                ))
+
+        trace = _trace(scenario, 3, seed=9, num_aps=2, duration_s=0.4)
+        config = SystemConfig(**RES, topology=TopologyConfig(num_aps=2))
+        streamer = MulticastStreamer(
+            config, tiny_dnn, [hr_probe], scenario.channel_model, seed=0
+        )
+        from repro.core.multi_ap import multi_ap_stages
+        session = streamer.session(trace, stages=multi_ap_stages() + [Spy()])
+        session.run(2)
+        assert len(seen) == 2
+        for association, ap_users, ap_allocations, repair_plans in seen:
+            assert set(association) == {0, 1, 2}
+            assert all(ap in (0, 1) for ap in association.values())
+            assert len(ap_users) == 2
+            assert sorted(u for users in ap_users for u in users) == [0, 1, 2]
+            assert len(ap_allocations) == 2
+            assert repair_plans is not None
+
+    def test_cross_ap_repair_delivers_symbols_under_blockage(
+        self, scenario, tiny_dnn, hr_probe
+    ):
+        """Deep AP-0 blockage leaves decode deficits the secondary AP's
+        repair symbols actually fill."""
+        with observed("counters"):
+            self._two_ap_outcome(
+                scenario, tiny_dnn, hr_probe, faults=dict(BLOCKAGE),
+            )
+            counters = OBS.counters()
+        assert counters.get("core.multi_ap.repair.users", 0) > 0
+        assert counters.get("core.multi_ap.repair.delivered", 0) > 0
+
+    def test_two_ap_holds_ssim_under_blockage(
+        self, scenario, tiny_dnn, hr_probe
+    ):
+        """The failover claim, in miniature: with deep AP-0 blockage the
+        2-AP pipeline's mean SSIM must not fall below the 1-AP pipeline's
+        on the same superset trace (deterministic seeds: this is the
+        bench_multi_ap acceptance flag as a unit test)."""
+        trace = _trace(scenario, 3, seed=9, num_aps=2, duration_s=0.4)
+        single = _run(
+            scenario, tiny_dnn, hr_probe, trace, seed=0, frames=8,
+            faults=dict(BLOCKAGE),
+        )
+        double = _run(
+            scenario, tiny_dnn, hr_probe, trace, seed=0, frames=8,
+            topology=TopologyConfig(num_aps=2), faults=dict(BLOCKAGE),
+        )
+        def mean_ssim(outcome):
+            return float(np.mean([s.ssim for s in outcome.stats]))
+
+        assert mean_ssim(double) >= mean_ssim(single) - 1e-9

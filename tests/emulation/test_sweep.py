@@ -4,13 +4,16 @@ import pytest
 
 from repro.emulation.sweep import (
     Variant,
+    ap_fault_grid,
     merge_runs,
     parse_config_overrides,
     run_session_sweep,
     run_variant_sweep,
+    sweep_num_aps,
     variant_from_spec,
 )
 from repro.errors import EmulationError
+from repro.phy.topology import TopologyConfig
 from repro.types import BeamformingScheme, SchedulerKind
 
 
@@ -143,3 +146,71 @@ class TestSweepEngine:
 
         with pytest.raises(EmulationError, match="unknown mobile approach"):
             mobile_variant("teleport")
+
+
+class TestTopologyOverrides:
+    def test_topology_dotted_overrides_merge(self):
+        overrides = parse_config_overrides({
+            "topology.num_aps": "2",
+            "topology.hysteresis_db": "5",
+            "topology.cross_ap_repair": "off",
+        })
+        topology = overrides["topology"]
+        assert topology == TopologyConfig(
+            num_aps=2, hysteresis_db=5.0, cross_ap_repair=False
+        )
+
+    def test_topology_composes_with_fault_overrides(self):
+        overrides = parse_config_overrides({
+            "topology.num_aps": "2",
+            "faults.blockage_rate_hz": "6",
+            "fps": "24",
+        })
+        assert overrides["topology"].num_aps == 2
+        assert overrides["faults"].blockage_rate_hz == 6.0
+        assert overrides["fps"] == 24
+
+    def test_unknown_topology_field_rejected(self):
+        with pytest.raises(EmulationError, match="topology"):
+            parse_config_overrides({"topology.warp": "9"})
+
+    def test_bare_topology_key_rejected(self):
+        with pytest.raises(EmulationError, match="topology"):
+            parse_config_overrides({"topology": "2"})
+
+
+class TestApFaultGrid:
+    def test_arm_names_and_overrides(self):
+        variants = ap_fault_grid("blockage_depth_db", [0, 25])
+        assert [v.name for v in variants] == [
+            "1ap:blockage_depth_db=0", "1ap:blockage_depth_db=25",
+            "2ap:blockage_depth_db=0", "2ap:blockage_depth_db=25",
+        ]
+        one_ap, two_ap = variants[1], variants[3]
+        # 1-AP arms carry no topology block at all: they must build the
+        # exact pre-topology SystemConfig.
+        assert "topology" not in one_ap.config_overrides
+        assert two_ap.config_overrides["topology"].num_aps == 2
+        assert one_ap.config_overrides["faults"].blockage_depth_db == 25.0
+        assert two_ap.config_overrides["faults"].blockage_depth_db == 25.0
+
+    def test_base_overrides_shared_by_every_arm(self):
+        variants = ap_fault_grid(
+            "blockage_depth_db", [25],
+            base={"faults.seed": "11", "fps": "24"},
+        )
+        for variant in variants:
+            assert variant.config_overrides["faults"].seed == 11
+            assert variant.config_overrides["fps"] == 24
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(EmulationError):
+            ap_fault_grid("blockage_depth_db", [])
+        with pytest.raises(EmulationError):
+            ap_fault_grid("blockage_depth_db", [1], ap_counts=())
+
+    def test_sweep_num_aps_is_widest_arm(self):
+        variants = ap_fault_grid("blockage_depth_db", [0, 25], ap_counts=(1, 2))
+        assert sweep_num_aps(variants) == 2
+        assert sweep_num_aps([Variant("plain")]) == 1
+        assert sweep_num_aps([]) == 1

@@ -159,3 +159,59 @@ class TestEstimatorDecay:
         for _ in range(100):
             estimator.decay(0.1)
         assert estimator.estimate_bytes_per_s >= 1e-9
+
+
+class TestApScopedViews:
+    """``controller.for_ap(ap)`` pins attenuation queries to one AP."""
+
+    def _two_ap_controller(self):
+        return _controller([
+            FaultEvent(FaultKind.BLOCKAGE, 0.0, 0.5, user=0,
+                       magnitude_db=25.0, ap=0),
+            FaultEvent(FaultKind.BLOCKAGE, 0.0, 0.5, user=0,
+                       magnitude_db=7.0, ap=1),
+        ])
+
+    def test_offsets_scoped_per_ap(self):
+        controller = self._two_ap_controller()
+        controller.begin_frame(0, 0.25, [0])
+        assert controller.for_ap(0).rss_offset_db(0) == -25.0
+        assert controller.for_ap(1).rss_offset_db(0) == -7.0
+        # The unscoped (single-AP pipeline) query means AP 0.
+        assert controller.rss_offset_db(0) == -25.0
+
+    def test_scoped_views_share_the_frame_clock(self):
+        controller = self._two_ap_controller()
+        view = controller.for_ap(1)
+        controller.begin_frame(0, 0.25, [0])
+        assert view.rss_offset_db(0) == -7.0
+        controller.begin_frame(20, 0.75, [0])  # window over
+        assert view.rss_offset_db(0) == 0.0
+
+    def test_scoped_wrap_link_applies_ap_offset(self):
+        controller = self._two_ap_controller()
+        controller.begin_frame(0, 0.25, [0])
+        link = _StubLink()
+        wrapped = controller.for_ap(1).wrap_link(link)
+        assert isinstance(wrapped, FaultedLinkModel)
+        wrapped.delivery_probability(0, None, None, None)
+        assert link.calls == [(0, -7.0)]
+
+    def test_scoped_wrap_is_identity_without_attenuation(self):
+        controller = _controller([
+            FaultEvent(FaultKind.ERASURE, 0.0, 1.0, probability=0.5),
+        ])
+        link = _StubLink()
+        assert controller.for_ap(1).wrap_link(link) is link
+
+    def test_non_attenuation_queries_unscoped(self):
+        controller = _controller([
+            FaultEvent(FaultKind.FEEDBACK_LOSS, 0.0, 0.5, user=2),
+            FaultEvent(FaultKind.ERASURE, 0.0, 0.5, probability=0.25),
+        ])
+        controller.begin_frame(0, 0.25, [0, 2])
+        for view in (controller.for_ap(0), controller.for_ap(1)):
+            assert view.feedback_lost(2)
+            assert not view.feedback_lost(0)
+            assert view.erasure_scale() == 0.75
+            assert not view.beacon_lost()

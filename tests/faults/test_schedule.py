@@ -191,3 +191,77 @@ class TestGeneration:
                 assert event.magnitude_db == config.blockage_depth_db
             if event.kind is FaultKind.ERASURE:
                 assert event.probability == config.erasure_prob
+
+
+class TestPerApEvents:
+    """AP-tagged events scope to one AP's link; untagged hit every AP."""
+
+    def test_untagged_event_reaches_every_ap(self):
+        event = _ev(FaultKind.BLOCKAGE, 0.0, 0.5, user=0, magnitude_db=10)
+        assert event.applies_to_ap(None)
+        assert event.applies_to_ap(0)
+        assert event.applies_to_ap(3)
+
+    def test_tagged_event_reaches_only_its_ap(self):
+        event = _ev(
+            FaultKind.BLOCKAGE, 0.0, 0.5, user=0, magnitude_db=10, ap=1
+        )
+        assert event.applies_to_ap(1)
+        assert not event.applies_to_ap(0)
+        # An untagged query is the single-AP pipeline, which means AP 0.
+        assert not event.applies_to_ap(None)
+
+    def test_ap0_tag_matches_untagged_query(self):
+        event = _ev(
+            FaultKind.BLOCKAGE, 0.0, 0.5, user=0, magnitude_db=10, ap=0
+        )
+        assert event.applies_to_ap(None)
+
+    def test_rss_offset_scoped_per_ap(self):
+        schedule = FaultSchedule(events=[
+            _ev(FaultKind.BLOCKAGE, 0.0, 1.0, user=0, magnitude_db=20, ap=0),
+            _ev(FaultKind.BLOCKAGE, 0.0, 1.0, user=0, magnitude_db=5, ap=1),
+            _ev(FaultKind.SNR_DIP, 0.0, 1.0, magnitude_db=3),  # every AP
+        ])
+        assert schedule.rss_offset_db(0.5, 0, ap=0) == -23.0
+        assert schedule.rss_offset_db(0.5, 0, ap=1) == -8.0
+        assert schedule.rss_offset_db(0.5, 0) == -23.0  # None -> AP 0
+
+    def test_multi_ap_generation_keeps_ap0_draws(self):
+        """AP 0's blockage timeline inside a 2-AP schedule must replay the
+        single-AP schedule's draws exactly — the failover sweep's 1-AP arm
+        depends on it."""
+        config = FaultConfig(seed=11, blockage_rate_hz=6.0)
+        single = FaultSchedule.generate(config, 1.0, [0, 1])
+        double = FaultSchedule.generate(config, 1.0, [0, 1], n_aps=2)
+        single_blockage = [
+            e for e in single.events if e.kind is FaultKind.BLOCKAGE
+        ]
+        ap0_blockage = [
+            e for e in double.events
+            if e.kind is FaultKind.BLOCKAGE and e.ap == 0
+        ]
+        assert [
+            (e.start_s, e.duration_s, e.user, e.magnitude_db)
+            for e in ap0_blockage
+        ] == [
+            (e.start_s, e.duration_s, e.user, e.magnitude_db)
+            for e in single_blockage
+        ]
+
+    def test_multi_ap_generation_tags_only_blockage(self):
+        config = FaultConfig(
+            seed=3, blockage_rate_hz=4.0, erasure_rate_hz=4.0,
+            snr_dip_rate_hz=4.0,
+        )
+        schedule = FaultSchedule.generate(config, 1.0, [0], n_aps=2)
+        for event in schedule.events:
+            if event.kind is FaultKind.BLOCKAGE:
+                assert event.ap in (0, 1)
+            else:
+                assert event.ap is None
+
+    def test_single_ap_generation_stays_untagged(self):
+        config = FaultConfig(seed=3, blockage_rate_hz=4.0)
+        schedule = FaultSchedule.generate(config, 1.0, [0])
+        assert all(e.ap is None for e in schedule.events)

@@ -4,9 +4,11 @@ import numpy as np
 import pytest
 
 from repro.errors import ChannelError
+from repro.obs import OBS, observed
 from repro.phy.raytracer import (
     RayTracer,
     Room,
+    _validated_placement,
     place_users_arc,
     place_users_random_range,
 )
@@ -115,3 +117,53 @@ class TestPlacement:
             place_users_arc(Position(0.5, 6), Room(), 0, 3, 0.5, rng)
         with pytest.raises(ChannelError):
             place_users_random_range(Position(0.5, 6), Room(), 2, 5, 3, 0.5, rng)
+
+
+class TestValidatedPlacement:
+    """Placement validation: clamp-identical outputs, counted violations."""
+
+    def test_in_room_draw_is_plain_clamp(self):
+        room = Room(20, 12)
+        assert _validated_placement(room, 5.0, 6.0) == room.clamp(5.0, 6.0)
+
+    def test_out_of_room_draw_matches_clamp_bitwise(self):
+        """Validation must not move a single bit of the legacy clamp —
+        placements feed seeded traces pinned by the golden suite."""
+        room = Room(20, 12)
+        for x, y in [(-3.0, 100.0), (25.0, -1.0), (20.0001, 6.0)]:
+            validated = _validated_placement(room, x, y)
+            clamped = room.clamp(x, y)
+            assert float(validated.x).hex() == float(clamped.x).hex()
+            assert float(validated.y).hex() == float(clamped.y).hex()
+            assert room.contains(validated)
+
+    def test_out_of_room_draw_counted(self):
+        room = Room(20, 12)
+        with observed("counters"):
+            _validated_placement(room, 5.0, 6.0)  # inside: no count
+            _validated_placement(room, -3.0, 6.0)
+            _validated_placement(room, 5.0, 99.0)
+            counters = OBS.counters()
+        assert counters.get("phy.placement.out_of_room") == 2
+
+    def test_counter_silent_when_obs_off(self):
+        with observed("counters"):
+            OBS.reset()
+        assert OBS.mode == 0
+        _validated_placement(Room(20, 12), -3.0, 6.0)
+        assert "phy.placement.out_of_room" not in OBS.counters()
+
+    def test_placement_helpers_stay_inside_tight_room(self, rng):
+        """A far arc in a small room forces out-of-room draws; every
+        emitted position must still satisfy ``Room.contains``."""
+        room = Room(4, 3)
+        ap = Position(0.3, 1.5)
+        with observed("counters"):
+            arc = place_users_arc(ap, room, 5, 6.0, np.deg2rad(120), rng)
+            ranged = place_users_random_range(
+                ap, room, 5, 4.0, 8.0, np.deg2rad(120), rng
+            )
+            counters = OBS.counters()
+        for user in arc + ranged:
+            assert room.contains(user)
+        assert counters["phy.placement.out_of_room"] >= 1

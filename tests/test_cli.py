@@ -76,6 +76,43 @@ class TestParser:
         assert exit_code == 2
         assert "--resume requires --shards" in capsys.readouterr().out
 
+    def test_ap_grid_flag_parsed(self):
+        args = build_parser().parse_args([
+            "sweep", "--fault-grid", "blockage_depth_db",
+            "--fault-values", "0,25", "--ap-grid", "1,2",
+        ])
+        assert args.ap_grid == "1,2"
+
+    def test_ap_grid_without_fault_grid_rejected(self, capsys):
+        exit_code = main(["sweep", "--variant", "base", "--ap-grid", "1,2"])
+        assert exit_code == 2
+        assert "--fault-grid" in capsys.readouterr().out
+
+    def test_unknown_fault_base_preset_rejected(self, capsys):
+        exit_code = main([
+            "sweep", "--fault-grid", "blockage_depth_db",
+            "--fault-values", "0,25", "--fault-base", "preset:warp",
+        ])
+        assert exit_code == 2
+        assert "blockage_failover" in capsys.readouterr().out
+
+    def test_blockage_failover_preset_carries_events(self):
+        """The preset must produce arms that actually schedule blockage —
+        a rate-less preset would make every depth arm a clean run."""
+        from repro.cli import FAULT_BASE_PRESETS
+        from repro.emulation.sweep import ap_fault_grid
+        from repro.faults import FaultSchedule
+
+        variants = ap_fault_grid(
+            "blockage_depth_db", [25],
+            base=FAULT_BASE_PRESETS["blockage_failover"],
+        )
+        for variant in variants:
+            faults = variant.config_overrides["faults"]
+            assert faults.blockage_rate_hz > 0
+            schedule = FaultSchedule.generate(faults, 1.0, [0, 1])
+            assert schedule.summary().get("blockage", 0) > 0
+
 
 class TestExecution:
     def test_quality_model_command_runs(self, capsys, monkeypatch, tmp_path):

@@ -40,6 +40,10 @@ def _report(scale: float = 1.0, **overrides) -> dict:
             "membership_reflected": True,
             "clean_shutdown": True,
         },
+        "multi_ap": {
+            "two_ap_advantage_at_max_depth": 0.05,
+            "two_ap_ssim_not_worse_under_blockage": True,
+        },
     }
     for dotted, value in overrides.items():
         stage, key = dotted.split(".")
@@ -142,6 +146,18 @@ class TestCompare:
         assert not result["passed"]
         (bad,) = [
             f for f in result["flags"] if f["flag"] == f"service_load.{flag}"
+        ]
+        assert not bad["ok"]
+
+    def test_multi_ap_regression_fails_gate(self):
+        candidate = _report(
+            **{"multi_ap.two_ap_ssim_not_worse_under_blockage": False}
+        )
+        result = perf_gate.compare(_report(), candidate)
+        assert not result["passed"]
+        (bad,) = [
+            f for f in result["flags"]
+            if f["flag"] == "multi_ap.two_ap_ssim_not_worse_under_blockage"
         ]
         assert not bad["ok"]
 
