@@ -39,6 +39,7 @@ if str(REPO_ROOT / "benchmarks") not in sys.path:
 import numpy as np
 
 from bench_multi_ap import bench_multi_ap
+from bench_precode import bench_precode
 from bench_scale_users import USER_COUNTS_FULL, USER_COUNTS_QUICK, bench_emulation_scale
 from bench_service_load import bench_service_load
 from bench_sweep_shard import bench_sweep_shard
@@ -312,27 +313,32 @@ def main(argv=None) -> int:
         jig_frames, repair, blocks, ssim_repeats = 24, 2000, 200, 60
     structure = LayerStructure(height=height, width=width)
 
-    print(f"[1/10] jigsaw encode ({height}x{width}, {jig_frames} frames)")
+    print(f"[1/11] jigsaw encode ({height}x{width}, {jig_frames} frames)")
     jigsaw = bench_jigsaw_encode(height, width, jig_frames, jobs)
-    print(f"[2/10] fountain encode ({repair} repair symbols)")
+    print(f"[2/11] fountain encode ({repair} repair symbols)")
     fountain_encode = bench_fountain_encode(structure, repair)
-    print(f"[3/10] fountain decode ({blocks} blocks)")
+    print(f"[3/11] precode encode + decode scaling ({repair} repair "
+          f"symbols, K sweep 32..256)")
+    precode = bench_precode(
+        structure, repair, fountain_encode["batched_warm_msymbols_per_s"]
+    )
+    print(f"[4/11] fountain decode ({blocks} blocks)")
     fountain_decode = bench_fountain_decode(structure, blocks)
-    print(f"[4/10] ssim ({ssim_repeats} frames)")
+    print(f"[5/11] ssim ({ssim_repeats} frames)")
     ssim_stage = bench_ssim(height, width, ssim_repeats)
-    print("[5/10] decoded-frame byte identity (seed vs optimized codec)")
+    print("[6/11] decoded-frame byte identity (seed vs optimized codec)")
     frames_identical = check_decoded_frames_identical(structure)
-    print(f"[6/10] emulation ({runs}-run scheduler comparison, jobs={jobs})")
+    print(f"[7/11] emulation ({runs}-run scheduler comparison, jobs={jobs})")
     emulation = bench_emulation(args.quick, runs, frames, users=4, jobs=jobs)
     emulation["decoded_frames_identical"] = frames_identical
     scale_counts = USER_COUNTS_QUICK if args.quick else USER_COUNTS_FULL
-    print(f"[7/10] emulation scale (cohort sweep to {scale_counts[-1]} users)")
+    print(f"[8/11] emulation scale (cohort sweep to {scale_counts[-1]} users)")
     emulation_scale = bench_emulation_scale(
         _context(args.quick), scale_counts, frames
     )
     sweep_runs = 8 if args.quick else 12
     sweep_frames = 2 if args.quick else 3
-    print(f"[8/10] sharded sweep ({sweep_runs} runs on persistent pool, "
+    print(f"[9/11] sharded sweep ({sweep_runs} runs on persistent pool, "
           f"jobs={min(jobs, 2)})")
     sweep_shard = bench_sweep_shard(
         _context(args.quick), sweep_runs, sweep_frames,
@@ -341,7 +347,7 @@ def main(argv=None) -> int:
     svc_sessions = 4 if args.quick else 8
     svc_receivers = 52 if args.quick else 104
     svc_churn = 40 if args.quick else 80
-    print(f"[9/10] service load ({svc_receivers} receivers across "
+    print(f"[10/11] service load ({svc_receivers} receivers across "
           f"{svc_sessions} sessions)")
     service_load = bench_service_load(
         _context(args.quick), svc_sessions, svc_receivers, svc_churn,
@@ -349,7 +355,7 @@ def main(argv=None) -> int:
     ap_runs = 2 if args.quick else 3
     ap_frames = 6 if args.quick else 9
     ap_depths = (0.0, 25.0) if args.quick else (0.0, 10.0, 25.0)
-    print(f"[10/10] multi-AP failover (1 vs 2 APs, {ap_runs} runs, "
+    print(f"[11/11] multi-AP failover (1 vs 2 APs, {ap_runs} runs, "
           f"depths {ap_depths} dB)")
     multi_ap = bench_multi_ap(
         _context(args.quick), ap_depths, runs=ap_runs, frames=ap_frames,
@@ -369,6 +375,7 @@ def main(argv=None) -> int:
         "stages": {
             "jigsaw_encode": jigsaw,
             "fountain_encode": fountain_encode,
+            "precode": precode,
             "fountain_decode": fountain_decode,
             "ssim": ssim_stage,
             "emulation": emulation,
@@ -379,6 +386,11 @@ def main(argv=None) -> int:
         },
         "acceptance": {
             "fountain_repair_encode_speedup": fountain_encode["speedup_vs_seed"],
+            "precode_encode_speedup_vs_dense_batched":
+                precode["encode_speedup_vs_dense_batched"],
+            "precode_encode_speedup_10x": precode["encode_speedup_10x"],
+            "precode_decode_subcubic": precode["decode_subcubic"],
+            "precode_roundtrip_identical": precode["roundtrip_identical"],
             "emulation_speedup_vs_seed_serial": emulation["speedup_vs_seed_serial"],
             "emulation_scale_speedup_at_100_users":
                 emulation_scale["speedup_at_100_users"],
@@ -404,6 +416,12 @@ def main(argv=None) -> int:
     print(f"fountain encode      : {fountain_encode['seed_msymbols_per_s']:8.4f} -> "
           f"{fountain_encode['batched_warm_msymbols_per_s']:.4f} Msym/s "
           f"(x{fountain_encode['speedup_vs_seed']:.1f})")
+    print(f"precode encode       : {precode['dense_batched_warm_msymbols_per_s']:8.4f} -> "
+          f"{precode['encode_msymbols_per_s']:.4f} Msym/s "
+          f"(x{precode['encode_speedup_vs_dense_batched']:.1f} vs dense batched)")
+    print(f"precode decode ops   : K^{precode['precode_decode_exponent']:.2f} "
+          f"vs dense K^{precode['dense_decode_exponent']:.2f} "
+          f"(sub-cubic: {precode['decode_subcubic']})")
     print(f"fountain decode      : {fountain_decode['seed_msymbols_per_s']:8.4f} -> "
           f"{fountain_decode['incremental_msymbols_per_s']:.4f} Msym/s "
           f"(x{fountain_decode['speedup_vs_seed']:.1f})")
@@ -439,6 +457,9 @@ def main(argv=None) -> int:
     print(f"report               : {path}")
 
     ok = (emulation["metrics_identical"] and frames_identical
+          and precode["decode_subcubic"]
+          and precode["encode_speedup_10x"]
+          and precode["roundtrip_identical"]
           and emulation_scale["metrics_identical"]
           and sweep_shard["merged_identical"]
           and service_load["zero_dropped"]

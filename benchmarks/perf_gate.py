@@ -32,6 +32,7 @@ from pathlib import Path
 GATED_METRICS = (
     ("jigsaw_encode", "fps_serial"),
     ("fountain_encode", "batched_warm_msymbols_per_s"),
+    ("precode", "encode_msymbols_per_s"),
     ("fountain_decode", "incremental_msymbols_per_s"),
     ("ssim", "frames_per_s_float32"),
     ("emulation", "optimized_runs_per_s"),
@@ -45,6 +46,8 @@ GATED_METRICS = (
 REQUIRED_FLAGS = (
     ("emulation", "metrics_identical"),
     ("emulation", "decoded_frames_identical"),
+    ("precode", "decode_subcubic"),
+    ("precode", "roundtrip_identical"),
     ("emulation_scale", "metrics_identical"),
     ("sweep_shard", "merged_identical"),
     ("service_load", "zero_dropped"),

@@ -29,6 +29,12 @@ class SystemConfig:
         adaptation: Real-time update vs no-update (Sec 4.3.4 axis).
         rate_control: Leaky-bucket pacing on/off (Fig 9 axis).
         source_coding: Fountain coding on/off (Fig 10/14 axis).
+        fountain_codec: Which rateless codec encodes coding units:
+            ``"dense"`` (default, the golden-pinned random-linear code) or
+            ``"precode"`` (RaptorQ-style LDPC+HDPC precode with
+            inactivation decoding; same systematic wire framing, sparse
+            repair symbols).  The default stays bit-identical to earlier
+            versions.
         emulate_4k_load: Scale link rates down by the pixel ratio so reduced
             resolution behaves like 4K.
         num_elements, phase_bits: AP phased-array geometry.
@@ -73,6 +79,7 @@ class SystemConfig:
     adaptation: AdaptationPolicy = AdaptationPolicy.REALTIME_UPDATE
     rate_control: bool = True
     source_coding: bool = True
+    fountain_codec: str = "dense"
     emulate_4k_load: bool = True
     num_elements: int = 32
     phase_bits: int = 2
@@ -111,6 +118,11 @@ class SystemConfig:
         if self.max_group_size is not None and self.max_group_size < 2:
             raise ConfigurationError(
                 f"max_group_size must be at least 2, got {self.max_group_size}"
+            )
+        if self.fountain_codec not in ("dense", "precode"):
+            raise ConfigurationError(
+                "fountain_codec must be 'dense' or 'precode', got "
+                f"{self.fountain_codec!r}"
             )
         if not 0.0 <= self.retransmit_reserve < 1.0:
             raise ConfigurationError(

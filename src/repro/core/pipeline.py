@@ -201,7 +201,10 @@ class FrameEncoder:
 
     def run(self, ctx: FrameContext, session: "StreamSession") -> None:
         ctx.encoder = FrameBlockEncoder(
-            ctx.frame_index, ctx.probe.layered, session.streamer.symbol_size
+            ctx.frame_index,
+            ctx.probe.layered,
+            session.streamer.symbol_size,
+            codec=session.streamer.fountain_codec,
         )
 
 

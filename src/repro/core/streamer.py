@@ -99,6 +99,7 @@ class MulticastStreamer:
                     "probe resolution does not match the configured codec"
                 )
         self.symbol_size = symbol_size_for(structure)
+        self.fountain_codec = config.fountain_codec
 
         array = channel_model.array
         self.codebook = SectorCodebook(

@@ -9,25 +9,44 @@ fails to decode with probability about ``256^-(h+1)`` — the exact overhead
 figure the paper quotes for RaptorQ.
 """
 
-from .gf256 import gf_inverse, gf_matmul, gf_multiply, gf_solve
+from .gf256 import gf2_matmul, gf_inverse, gf_matmul, gf_multiply, gf_solve
+from .inactivation import InactivationStats, solve_inactivation
+from .precode import Precode, PrecodeDecoder, PrecodeEncoder
 from .raptor import (
     FountainDecoder,
     FountainEncoder,
     FountainSymbol,
     decode_failure_probability,
 )
-from .block import DEFAULT_SYMBOL_SIZE, CodingUnitId, FrameBlockEncoder, FrameBlockDecoder
+from .block import (
+    DEFAULT_SYMBOL_SIZE,
+    DENSE_CODEC,
+    FOUNTAIN_CODECS,
+    PRECODE_CODEC,
+    CodingUnitId,
+    FrameBlockEncoder,
+    FrameBlockDecoder,
+)
 
 __all__ = [
     "gf_multiply",
     "gf_inverse",
     "gf_matmul",
+    "gf2_matmul",
     "gf_solve",
     "FountainSymbol",
     "FountainEncoder",
     "FountainDecoder",
     "decode_failure_probability",
+    "Precode",
+    "PrecodeEncoder",
+    "PrecodeDecoder",
+    "InactivationStats",
+    "solve_inactivation",
     "DEFAULT_SYMBOL_SIZE",
+    "DENSE_CODEC",
+    "PRECODE_CODEC",
+    "FOUNTAIN_CODECS",
     "CodingUnitId",
     "FrameBlockEncoder",
     "FrameBlockDecoder",

@@ -18,6 +18,7 @@ import numpy as np
 from ..errors import FountainCodeError
 from ..types import NUM_LAYERS
 from ..video.jigsaw import SUBLAYER_COUNTS, LayeredFrame, LayerStructure
+from .precode import PrecodeDecoder, PrecodeEncoder
 from .raptor import FountainDecoder, FountainEncoder, FountainSymbol
 
 #: Paper's symbol size (Fig 2 minimum).
@@ -25,6 +26,26 @@ DEFAULT_SYMBOL_SIZE = 6000
 
 #: Paper's symbols per coding unit.
 TARGET_SYMBOLS_PER_UNIT = 20
+
+#: The seed dense random-linear codec (golden-pinned wire format).
+DENSE_CODEC = "dense"
+
+#: The RaptorQ-style precode codec (sparse LT over intermediates).
+PRECODE_CODEC = "precode"
+
+#: Codecs selectable via ``SystemConfig.fountain_codec``.
+FOUNTAIN_CODECS = (DENSE_CODEC, PRECODE_CODEC)
+
+_ENCODER_OF_CODEC = {DENSE_CODEC: FountainEncoder, PRECODE_CODEC: PrecodeEncoder}
+_DECODER_OF_CODEC = {DENSE_CODEC: FountainDecoder, PRECODE_CODEC: PrecodeDecoder}
+
+
+def _check_codec(codec: str) -> str:
+    if codec not in FOUNTAIN_CODECS:
+        raise FountainCodeError(
+            f"fountain codec must be one of {FOUNTAIN_CODECS}, got {codec!r}"
+        )
+    return codec
 
 
 @dataclass(frozen=True, order=True)
@@ -103,15 +124,18 @@ class FrameBlockEncoder:
         frame_index: int,
         layered: LayeredFrame,
         symbol_size: int = 0,
+        codec: str = DENSE_CODEC,
     ) -> None:
         self.frame_index = int(frame_index)
         self.structure = layered.structure
         self.symbol_size = int(symbol_size) or symbol_size_for(layered.structure)
+        self.codec = _check_codec(codec)
+        encoder_cls = _ENCODER_OF_CODEC[self.codec]
         self._encoders: Dict[CodingUnitId, FountainEncoder] = {}
         self._next_symbol_id: Dict[CodingUnitId, int] = {}
         for unit in all_unit_ids(self.frame_index):
             payload = layered.sublayer_payload(unit.layer, unit.sublayer)
-            self._encoders[unit] = FountainEncoder(
+            self._encoders[unit] = encoder_cls(
                 unit.block_id, payload, self.symbol_size
             )
             self._next_symbol_id[unit] = 0
@@ -171,13 +195,16 @@ class FrameBlockDecoder:
         frame_index: int,
         structure: LayerStructure,
         symbol_size: int = 0,
+        codec: str = DENSE_CODEC,
     ) -> None:
         self.frame_index = int(frame_index)
         self.structure = structure
         self.symbol_size = int(symbol_size) or symbol_size_for(structure)
+        self.codec = _check_codec(codec)
+        decoder_cls = _DECODER_OF_CODEC[self.codec]
         self._decoders: Dict[CodingUnitId, FountainDecoder] = {}
         for unit in all_unit_ids(self.frame_index):
-            self._decoders[unit] = FountainDecoder(
+            self._decoders[unit] = decoder_cls(
                 unit.block_id, structure.sublayer_nbytes, self.symbol_size
             )
 

@@ -25,6 +25,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..errors import FountainCodeError
+from ..obs import OBS
 
 #: The field's primitive polynomial (0x11D) reduced modulo x^8.
 _PRIMITIVE_POLY = 0x1D
@@ -95,12 +96,78 @@ def gf_scale_row(row: np.ndarray, factor: int) -> np.ndarray:
     return _EXP[_LOG[row] + _LOG[factor]]
 
 
+#: Temp-buffer budget (elements) for one table-blocked gather; 4M uint8
+#: keeps each block's ``(rows, k, n)`` product inside L2/L3-friendly sizes.
+_BLOCK_ELEMS = 1 << 22
+
+
+def gf_matmul_blocked(
+    a: np.ndarray, b: np.ndarray, block_elems: int = _BLOCK_ELEMS
+) -> np.ndarray:
+    """Table-blocked GF(256) matrix product ``(m, k) @ (k, n)``.
+
+    One three-dimensional product-table gather per row block — XOR-reduced
+    along ``k`` — instead of a ``k``-iteration Python loop over source
+    columns.  Row blocks are sized so the ``(rows, k, n)`` temporary stays
+    under ``block_elems`` elements, which keeps the kernel cache-resident
+    for the wide coefficient batches the precode encoder produces.
+    """
+    a = np.atleast_2d(np.asarray(a, dtype=np.uint8))
+    b = np.atleast_2d(np.asarray(b, dtype=np.uint8))
+    if a.shape[1] != b.shape[0]:
+        raise FountainCodeError(f"shape mismatch: {a.shape} @ {b.shape}")
+    m, k = a.shape
+    n = b.shape[1]
+    out = np.zeros((m, n), dtype=np.uint8)
+    if m == 0 or n == 0 or k == 0:
+        return out
+    rows_per_block = max(1, int(block_elems) // max(1, k * n))
+    for start in range(0, m, rows_per_block):
+        block = a[start : start + rows_per_block]
+        products = _MUL[block[:, :, None], b[None, :, :]]
+        out[start : start + block.shape[0]] = np.bitwise_xor.reduce(
+            products, axis=1
+        )
+    return out
+
+
+def gf2_matmul(mask: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bit-sliced GF(2) matrix product: XOR rows of ``b`` selected by ``mask``.
+
+    ``mask`` is boolean ``(m, k)``; the result row ``i`` is the XOR of every
+    ``b[j]`` with ``mask[i, j]`` set — the hot kernel for binary LT/LDPC
+    coefficient rows.  Implementation is bit-sliced: ``b`` is unpacked to
+    bit-planes, selections are *counted* with one float32 BLAS matmul
+    (exact for ``k`` up to 2**24), and the count parity is repacked to
+    bytes.  XOR over GF(2) is exactly the parity of the selection count.
+    """
+    mask = np.atleast_2d(np.asarray(mask, dtype=bool))
+    b = np.atleast_2d(np.asarray(b, dtype=np.uint8))
+    if mask.shape[1] != b.shape[0]:
+        raise FountainCodeError(f"shape mismatch: {mask.shape} @ {b.shape}")
+    m, k = mask.shape
+    n = b.shape[1]
+    if m == 0 or n == 0:
+        return np.zeros((m, n), dtype=np.uint8)
+    if k == 0:
+        return np.zeros((m, n), dtype=np.uint8)
+    if k >= (1 << 24):
+        raise FountainCodeError(
+            f"bit-sliced parity matmul supports k < 2**24, got {k}"
+        )
+    bits = np.unpackbits(b, axis=1).astype(np.float32)
+    counts = mask.astype(np.float32) @ bits
+    parity = (counts.astype(np.int64) & 1).astype(np.uint8)
+    return np.packbits(parity, axis=1)
+
+
 def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """GF(256) matrix product of uint8 matrices ``(m, k) @ (k, n)``.
 
     Used for encoding: coefficient rows times the source-symbol matrix.
-    One product-table gather per source column, XOR-accumulated, so a whole
-    batch of coded symbols costs the same Python overhead as a single one.
+    Single rows keep the one-gather fast path (the decoder's elimination
+    steps); wider batches run the table-blocked kernel, whose Python
+    overhead is per row *block* rather than per source column.
     """
     a = np.atleast_2d(np.asarray(a, dtype=np.uint8))
     b = np.atleast_2d(np.asarray(b, dtype=np.uint8))
@@ -113,13 +180,7 @@ def gf_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
             return np.zeros((1, b.shape[1]), dtype=np.uint8)
         products = _MUL[a[0][:, None], b]
         return np.bitwise_xor.reduce(products, axis=0, keepdims=True)
-    out = np.zeros((a.shape[0], b.shape[1]), dtype=np.uint8)
-    for j in range(a.shape[1]):
-        column = a[:, j]
-        if not column.any():
-            continue
-        out ^= _MUL[column[:, None], b[j][None, :]]
-    return out
+    return gf_matmul_blocked(a, b)
 
 
 def gf_matmul_reference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -189,11 +250,20 @@ def gf_solve(
     m, k = a.shape
     if b.shape[0] != m:
         raise FountainCodeError(f"rhs has {b.shape[0]} rows, expected {m}")
+    # Elimination cost tallies: one row op per scaled/updated row, element
+    # ops weighted by the full (coefficients + payload) row width.  Local
+    # ints in the loop, a single OBS emission at the end, so the counters
+    # cost nothing per pivot when observability is off.
+    row_width = k + b.shape[1]
+    row_ops = 0
+    elem_ops = 0
     row = 0
+    solved = True
     for col in range(k):
         pivot_candidates = np.nonzero(a[row:, col])[0]
         if pivot_candidates.size == 0:
-            return None
+            solved = False
+            break
         pivot = row + int(pivot_candidates[0])
         if pivot != row:
             a[[row, pivot]] = a[[pivot, row]]
@@ -207,9 +277,15 @@ def gf_solve(
             factors = a[targets, col]
             a[targets] ^= gf_multiply(factors[:, None], a[row][None, :])
             b[targets] ^= gf_multiply(factors[:, None], b[row][None, :])
+        row_ops += int(targets.size) + 1
+        elem_ops += (int(targets.size) + 1) * row_width
         row += 1
         if row == k:
             break
-    if row < k:
+    if OBS.mode:
+        OBS.count("fountain.gf.solve_calls")
+        OBS.count("fountain.gf.solve_row_ops", row_ops)
+        OBS.count("fountain.gf.solve_elem_ops", elem_ops)
+    if not solved or row < k:
         return None
     return b[:k], b

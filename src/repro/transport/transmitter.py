@@ -26,7 +26,12 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from ..errors import TransportError
-from ..fountain.block import CodingUnitId, FrameBlockDecoder, FrameBlockEncoder
+from ..fountain.block import (
+    DENSE_CODEC,
+    CodingUnitId,
+    FrameBlockDecoder,
+    FrameBlockEncoder,
+)
 from ..obs import OBS
 from ..perf.mode import seed_path_active
 from ..phy.channel import ChannelState
@@ -224,11 +229,18 @@ class FrameTransmitter:
         state = _TxState(clock_s=0.0, packets_sent=0, dropped_at_queue=0)
         plan = self._expand_assignments(encoder, assignments, groups)
 
-        if allow_cohort and not seed_path_active() and not OBS.mode:
+        if (
+            allow_cohort
+            and encoder.codec == DENSE_CODEC
+            and not seed_path_active()
+            and not OBS.mode
+        ):
             # Vectorized cohort path: struct-of-arrays receiver state, one
             # batched Bernoulli comparison per coding group.  Observability
             # runs stay on the per-user path so the per-packet counters and
-            # fountain decode events keep firing.
+            # fountain decode events keep firing.  The cohort's rank oracle
+            # is specific to the dense code's coefficient cache, so precode
+            # sessions use the per-user decoders.
             return self._transmit_cohort(
                 encoder, assignments, groups, users, plan, rates, true_state,
                 packet_bytes, budget_s, state, rng, faults,
@@ -237,7 +249,10 @@ class FrameTransmitter:
         receptions = {
             u: UserReception(
                 decoder=FrameBlockDecoder(
-                    encoder.frame_index, encoder.structure, encoder.symbol_size
+                    encoder.frame_index,
+                    encoder.structure,
+                    encoder.symbol_size,
+                    codec=encoder.codec,
                 )
             )
             for u in users

@@ -6,6 +6,8 @@ import pytest
 from repro.errors import FountainCodeError
 from repro.fountain.block import (
     DEFAULT_SYMBOL_SIZE,
+    DENSE_CODEC,
+    PRECODE_CODEC,
     TARGET_SYMBOLS_PER_UNIT,
     CodingUnitId,
     FrameBlockDecoder,
@@ -136,3 +138,68 @@ class TestFrameBlockRoundtrip:
         per_layer = decoder.bytes_received_per_layer()
         assert per_layer[0] == 5 * encoder.symbol_size
         assert per_layer[1:].sum() == 0
+
+
+class TestCodecSelection:
+    def test_default_codec_is_dense(self, codec, hr_probe):
+        encoder = FrameBlockEncoder(0, hr_probe.layered)
+        decoder = FrameBlockDecoder(0, codec.structure, encoder.symbol_size)
+        assert encoder.codec == DENSE_CODEC
+        assert decoder.codec == DENSE_CODEC
+        unit = encoder.units[0]
+        assert isinstance(
+            encoder._encoders[unit], __import__(
+                "repro.fountain.raptor", fromlist=["FountainEncoder"]
+            ).FountainEncoder
+        )
+
+    def test_unknown_codec_rejected(self, codec, hr_probe):
+        with pytest.raises(FountainCodeError):
+            FrameBlockEncoder(0, hr_probe.layered, codec="turbo")
+        with pytest.raises(FountainCodeError):
+            FrameBlockDecoder(0, codec.structure, codec="turbo")
+
+    def test_precode_full_delivery_reconstructs(self, codec, hr_probe):
+        encoder = FrameBlockEncoder(0, hr_probe.layered, codec=PRECODE_CODEC)
+        decoder = FrameBlockDecoder(
+            0, codec.structure, encoder.symbol_size, codec=PRECODE_CODEC
+        )
+        assert encoder.codec == decoder.codec == PRECODE_CODEC
+        k = encoder.symbols_per_unit()
+        for unit in encoder.units:
+            for symbol in encoder.next_symbols(unit, k):
+                decoder.ingest(symbol)
+        layered, masks = decoder.assemble()
+        assert all(mask.all() for mask in masks)
+        reference = codec.decode_fractions(hr_probe.layered, [1, 1, 1, 1])
+        rebuilt = codec.decode(layered, masks)
+        np.testing.assert_array_equal(reference.y, rebuilt.y)
+
+    def test_precode_repair_only_delivery(self, codec, hr_probe):
+        """Drop every systematic symbol; repair symbols still reconstruct."""
+        encoder = FrameBlockEncoder(0, hr_probe.layered, codec=PRECODE_CODEC)
+        decoder = FrameBlockDecoder(
+            0, codec.structure, encoder.symbol_size, codec=PRECODE_CODEC
+        )
+        k = encoder.symbols_per_unit()
+        unit = encoder.units[0]
+        encoder.next_symbols(unit, k)  # discarded: simulate total loss
+        for symbol in encoder.next_symbols(unit, k + 3):
+            decoder.ingest(symbol)
+        assert decoder.unit_decoder(unit).is_decoded
+        payload = decoder.unit_decoder(unit).decode()
+        assert payload == hr_probe.layered.sublayer_payload(
+            unit.layer, unit.sublayer
+        )
+
+    def test_precode_systematic_symbols_match_dense_wire(self, hr_probe):
+        dense = FrameBlockEncoder(0, hr_probe.layered, codec=DENSE_CODEC)
+        pre = FrameBlockEncoder(0, hr_probe.layered, codec=PRECODE_CODEC)
+        unit = dense.units[0]
+        k = dense.symbols_per_unit()
+        for d_sym, p_sym in zip(
+            dense.next_symbols(unit, k), pre.next_symbols(unit, k)
+        ):
+            assert d_sym.payload == p_sym.payload
+            assert d_sym.symbol_id == p_sym.symbol_id
+            assert d_sym.block_id == p_sym.block_id

@@ -2,15 +2,21 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import FountainCodeError
 from repro.fountain.gf256 import (
+    gf2_matmul,
     gf_inverse,
     gf_matmul,
+    gf_matmul_blocked,
+    gf_matmul_reference,
     gf_multiply,
     gf_scale_row,
     gf_solve,
 )
+from repro.obs import observed
 
 
 class TestMultiply:
@@ -105,3 +111,131 @@ class TestSolve:
     def test_matmul_shape_mismatch_rejected(self):
         with pytest.raises(FountainCodeError):
             gf_matmul(np.zeros((2, 3), dtype=np.uint8), np.zeros((4, 2), dtype=np.uint8))
+
+
+class TestBlockedMatmul:
+    """The table-blocked kernel pinned against reference accumulation."""
+
+    @given(
+        m=st.integers(min_value=0, max_value=40),
+        k=st.integers(min_value=0, max_value=40),
+        n=st.integers(min_value=0, max_value=40),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    @settings(deadline=None, max_examples=60)
+    def test_blocked_matches_reference(self, m, k, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 256, (m, k), dtype=np.uint8)
+        b = rng.integers(0, 256, (k, n), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            gf_matmul_blocked(a, b), gf_matmul_reference(a, b)
+        )
+
+    @given(
+        m=st.integers(min_value=1, max_value=30),
+        k=st.integers(min_value=1, max_value=20),
+        n=st.integers(min_value=1, max_value=20),
+        block_elems=st.integers(min_value=1, max_value=256),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    @settings(deadline=None, max_examples=60)
+    def test_block_size_does_not_change_result(self, m, k, n, block_elems, seed):
+        """Tiny block budgets force multi-block paths; output is invariant."""
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 256, (m, k), dtype=np.uint8)
+        b = rng.integers(0, 256, (k, n), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            gf_matmul_blocked(a, b, block_elems=block_elems),
+            gf_matmul_reference(a, b),
+        )
+
+    @given(
+        m=st.integers(min_value=2, max_value=30),
+        k=st.integers(min_value=1, max_value=30),
+        n=st.integers(min_value=1, max_value=30),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    @settings(deadline=None, max_examples=60)
+    def test_gf_matmul_multi_row_uses_blocked_result(self, m, k, n, seed):
+        """The gf_matmul fallback is the blocked kernel, not a column loop."""
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 256, (m, k), dtype=np.uint8)
+        b = rng.integers(0, 256, (k, n), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            gf_matmul(a, b), gf_matmul_reference(a, b)
+        )
+
+    def test_single_row_fast_path_matches(self, rng):
+        a = rng.integers(0, 256, (1, 50), dtype=np.uint8)
+        b = rng.integers(0, 256, (50, 64), dtype=np.uint8)
+        np.testing.assert_array_equal(
+            gf_matmul(a, b), gf_matmul_reference(a, b)
+        )
+
+
+class TestGF2Matmul:
+    """Bit-sliced parity matmul pinned against reference XOR accumulation."""
+
+    @given(
+        m=st.integers(min_value=0, max_value=40),
+        k=st.integers(min_value=1, max_value=40),
+        n=st.integers(min_value=1, max_value=40),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    @settings(deadline=None, max_examples=60)
+    def test_matches_reference_accumulation(self, m, k, n, seed):
+        rng = np.random.default_rng(seed)
+        mask = rng.integers(0, 2, (m, k)).astype(bool)
+        b = rng.integers(0, 256, (k, n), dtype=np.uint8)
+        # A boolean mask is a GF(256) coefficient matrix of zeros and ones.
+        expected = gf_matmul_reference(mask.astype(np.uint8), b)
+        np.testing.assert_array_equal(gf2_matmul(mask, b), expected)
+
+    def test_empty_selection_is_zero(self):
+        mask = np.zeros((3, 5), dtype=bool)
+        b = np.arange(5 * 4, dtype=np.uint8).reshape(5, 4)
+        np.testing.assert_array_equal(
+            gf2_matmul(mask, b), np.zeros((3, 4), dtype=np.uint8)
+        )
+
+    def test_full_selection_is_xor_of_all_rows(self, rng):
+        b = rng.integers(0, 256, (7, 16), dtype=np.uint8)
+        mask = np.ones((1, 7), dtype=bool)
+        np.testing.assert_array_equal(
+            gf2_matmul(mask, b)[0], np.bitwise_xor.reduce(b, axis=0)
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(FountainCodeError):
+            gf2_matmul(np.ones((2, 3), dtype=bool), np.zeros((4, 2), dtype=np.uint8))
+
+
+class TestSolveInstrumentation:
+    """gf_solve reports elimination effort through obs counters."""
+
+    def test_counters_emitted_inside_observed(self, rng):
+        k = 6
+        matrix = rng.integers(0, 256, (k, k), dtype=np.uint8)
+        rhs = rng.integers(0, 256, (k, 8), dtype=np.uint8)
+        with observed("counters") as registry:
+            gf_solve(matrix, rhs)
+        counters = registry.counters()
+        assert counters.get("fountain.gf.solve_calls") == 1.0
+        assert counters.get("fountain.gf.solve_row_ops", 0) > 0
+        assert counters.get("fountain.gf.solve_elem_ops", 0) > 0
+
+    def test_no_counters_outside_observed(self, rng):
+        k = 4
+        matrix = rng.integers(0, 256, (k, k), dtype=np.uint8)
+        rhs = rng.integers(0, 256, (k, 4), dtype=np.uint8)
+        with observed("counters") as registry:
+            pass
+        gf_solve(matrix, rhs)
+        assert "fountain.gf.solve_calls" not in registry.counters()
+
+    def test_singular_solve_still_counts(self):
+        matrix = np.array([[1, 2], [2, 4]], dtype=np.uint8)
+        rhs = np.zeros((2, 3), dtype=np.uint8)
+        with observed("counters") as registry:
+            assert gf_solve(matrix, rhs) is None
+        assert registry.counters().get("fountain.gf.solve_calls") == 1.0

@@ -17,6 +17,11 @@ def _report(scale: float = 1.0, **overrides) -> dict:
     stages = {
         "jigsaw_encode": {"fps_serial": 1000.0 * scale},
         "fountain_encode": {"batched_warm_msymbols_per_s": 0.25 * scale},
+        "precode": {
+            "encode_msymbols_per_s": 2.5 * scale,
+            "decode_subcubic": True,
+            "roundtrip_identical": True,
+        },
         "fountain_decode": {"incremental_msymbols_per_s": 0.04 * scale},
         "ssim": {"frames_per_s_float32": 300.0 * scale},
         "emulation": {
@@ -197,3 +202,24 @@ class TestCli:
         ])
         assert code == 1
         assert "FAIL" in capsys.readouterr().out
+
+
+class TestPrecodeGate:
+    def test_precode_metric_gated(self):
+        result = perf_gate.compare(
+            _report(), _report(**{"precode.encode_msymbols_per_s": 0.5})
+        )
+        assert not result["passed"]
+        row = next(
+            r for r in result["metrics"]
+            if r["metric"] == "precode.encode_msymbols_per_s"
+        )
+        assert not row["ok"]
+
+    @pytest.mark.parametrize(
+        "flag", ["precode.decode_subcubic", "precode.roundtrip_identical"]
+    )
+    def test_precode_flags_required(self, flag):
+        result = perf_gate.compare(_report(), _report(**{flag: False}))
+        assert not result["passed"]
+        assert any(f["flag"] == flag and not f["ok"] for f in result["flags"])
